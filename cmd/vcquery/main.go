@@ -1,0 +1,77 @@
+// Command vcquery is the verifying client for vcserve: it sends a range
+// query to an untrusted publisher, checks the verification object against
+// the owner's public parameters, and prints the verified rows — or the
+// reason the result was rejected.
+//
+// Usage:
+//
+//	vcquery -url http://localhost:8080 -params params.gob \
+//	        -role manager -lo 1000 -hi 500000 -cols Name,Dept
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+	"vcqr/internal/verify"
+	"vcqr/internal/wire"
+)
+
+func main() {
+	url := flag.String("url", "http://localhost:8080", "publisher base URL")
+	paramsPath := flag.String("params", "params.gob", "owner parameters file (authenticated channel)")
+	roleName := flag.String("role", "manager", "role to query as")
+	lo := flag.Uint64("lo", 1, "range lower bound (inclusive)")
+	hi := flag.Uint64("hi", 0, "range upper bound (inclusive, 0 = unbounded)")
+	cols := flag.String("cols", "", "comma-separated projection (empty = all columns)")
+	flag.Parse()
+
+	cp, err := wire.ReadClientParams(*paramsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	role, ok := cp.Roles[*roleName]
+	if !ok {
+		log.Fatalf("unknown role %q", *roleName)
+	}
+
+	q := engine.Query{Relation: cp.Schema.Name, KeyLo: *lo, KeyHi: *hi}
+	if *cols != "" {
+		q.Project = strings.Split(*cols, ",")
+	}
+	client := &wire.Client{BaseURL: *url}
+	res, err := client.Query(*roleName, q)
+	if err != nil {
+		log.Fatalf("query failed: %v", err)
+	}
+
+	h := hashx.New()
+	pub := &sig.PublicKey{N: cp.N, E: cp.E}
+	v := verify.New(h, pub, cp.Params, cp.Schema)
+	rows, err := v.VerifyResult(q, role, res)
+	if err != nil {
+		log.Fatalf("RESULT REJECTED: %v", err)
+	}
+
+	acc := res.VO.Account(h.Size(), pub.SigBytes())
+	fmt.Printf("result VERIFIED: %d rows complete and authentic for %s in [%d, %d]\n",
+		len(rows), cp.Schema.KeyName, res.Effective.KeyLo, res.Effective.KeyHi)
+	fmt.Printf("VO: %d digests + %d signature(s) = %d bytes authentication traffic\n",
+		acc.Digests, acc.Signatures, acc.Bytes())
+	for i, r := range rows {
+		if i >= 20 {
+			fmt.Printf("... and %d more rows\n", len(rows)-20)
+			break
+		}
+		fmt.Printf("%8d  ", r.Key)
+		for _, d := range r.Values {
+			fmt.Printf("%s=%v  ", cp.Schema.Cols[d.Col].Name, d.Val)
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,101 @@
+// Command vcserve runs a publisher server for the Figure 3 deployment.
+// It either loads a pre-signed snapshot produced by vcsign (-load; the
+// realistic mode: the publisher never holds the signing key) or plays
+// both roles and generates a signed employee relation in-process.
+//
+// Usage:
+//
+//	vcserve -load emp.gob -params params.gob -addr :8080
+//	vcserve -n 1000 -params params.gob -addr :8080   # self-signed demo
+//
+// Query it with cmd/vcquery.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/sig"
+	"vcqr/internal/wire"
+	"vcqr/internal/workload"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	load := flag.String("load", "", "signed-relation snapshot from vcsign (empty = generate in-process)")
+	n := flag.Int("n", 500, "records to generate when -load is empty")
+	seed := flag.Int64("seed", 1, "workload seed when -load is empty")
+	paramsPath := flag.String("params", "params.gob", "client parameters file (read with -load, written otherwise)")
+	flag.Parse()
+
+	h := hashx.New()
+	var (
+		sr  *core.SignedRelation
+		pub *sig.PublicKey
+		cp  wire.ClientParams
+	)
+	if *load != "" {
+		blob, err := os.ReadFile(*load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		sr, err = wire.DecodeRelation(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp, err = wire.ReadClientParams(*paramsPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub = &sig.PublicKey{N: cp.N, E: cp.E}
+		log.Printf("loaded snapshot %s: %q, %d records", *load, sr.Schema.Name, sr.Len())
+	} else {
+		o, err := owner.New(h, 0)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rel, err := workload.Employees(workload.EmployeeConfig{
+			N: *n, L: 0, U: 1 << 32, PhotoSize: 64, HiddenPct: 10, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("signing %d records (one chained signature each)...", rel.Len())
+		sr, err = o.Publish(rel, core.DefaultBase)
+		if err != nil {
+			log.Fatal(err)
+		}
+		pub = o.PublicKey()
+		cp = wire.ClientParams{
+			N: pub.N, E: pub.E, Params: sr.Params, Schema: sr.Schema,
+			Roles: map[string]accessctl.Role{
+				"manager": {Name: "manager"},
+				"exec":    {Name: "exec", KeyHi: 1 << 30},
+				"clerk":   {Name: "clerk", VisibilityCol: "vis_clerk"},
+			},
+		}
+		if err := wire.WriteClientParams(*paramsPath, cp); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("client parameters written to %s", *paramsPath)
+	}
+
+	roles := make([]accessctl.Role, 0, len(cp.Roles))
+	for _, r := range cp.Roles {
+		roles = append(roles, r)
+	}
+	p := engine.NewPublisher(h, pub, accessctl.NewPolicy(roles...))
+	if err := p.AddRelation(sr, true); err != nil {
+		log.Fatalf("snapshot failed ingest validation: %v", err)
+	}
+	fmt.Printf("publisher serving %q (%d records) on %s\n", sr.Schema.Name, sr.Len(), *addr)
+	log.Fatal(http.ListenAndServe(*addr, wire.Handler(p)))
+}

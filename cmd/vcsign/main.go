@@ -1,0 +1,78 @@
+// Command vcsign is the owner-side tool of the Figure 3 deployment: it
+// generates a fresh signing key, signs a relation, and writes two
+// artifacts:
+//
+//   - a signed-relation snapshot (-out) for publishers — contains no
+//     secrets, only tuples, digests and signatures;
+//   - a client-parameters file (-params) for users — the public key,
+//     domain parameters, schema and role definitions, to be distributed
+//     over an authenticated channel.
+//
+// The private key is used once and discarded; re-run vcsign to publish a
+// new version. Serve the snapshot with:
+//
+//	vcsign -n 1000 -out emp.gob -params params.gob
+//	vcserve -load emp.gob -params params.gob
+package main
+
+import (
+	"flag"
+	"log"
+	"os"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/wire"
+	"vcqr/internal/workload"
+)
+
+func main() {
+	n := flag.Int("n", 500, "number of employee records to generate")
+	seed := flag.Int64("seed", 1, "workload seed")
+	base := flag.Uint64("base", core.DefaultBase, "chain number base B")
+	out := flag.String("out", "relation.gob", "signed-relation snapshot for publishers")
+	paramsPath := flag.String("params", "params.gob", "client parameters file for users")
+	flag.Parse()
+
+	h := hashx.New()
+	o, err := owner.New(h, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: *n, L: 0, U: 1 << 32, PhotoSize: 64, HiddenPct: 10, Seed: *seed,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("signing %d records at base %d...", rel.Len(), *base)
+	sr, err := o.Publish(rel, *base)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	blob, err := wire.EncodeRelation(sr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("snapshot: %s (%d bytes, %d signatures)", *out, len(blob), o.SignOps())
+
+	cp := wire.ClientParams{
+		N: o.PublicKey().N, E: o.PublicKey().E,
+		Params: sr.Params, Schema: sr.Schema,
+		Roles: map[string]accessctl.Role{
+			"manager": {Name: "manager"},
+			"exec":    {Name: "exec", KeyHi: 1 << 30},
+			"clerk":   {Name: "clerk", VisibilityCol: "vis_clerk"},
+		},
+	}
+	if err := wire.WriteClientParams(*paramsPath, cp); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("client parameters: %s", *paramsPath)
+}

@@ -1,0 +1,128 @@
+// Payroll: the Figure 1 access-control scenario.
+//
+// The Employee table is published with a policy: the HR manager sees all
+// records, the HR executive only salaries below 9000, and clerks cannot
+// see records flagged confidential. The same query — "Salary < 10000" —
+// produces three different, individually verifiable results, and in no
+// case does the completeness proof disclose data beyond the caller's
+// rights (the flaw of boundary-disclosure schemes).
+//
+// Run: go run ./examples/payroll
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/relation"
+	"vcqr/internal/verify"
+)
+
+func main() {
+	h := hashx.New()
+
+	schema := relation.Schema{
+		Name:    "Emp",
+		KeyName: "Salary",
+		Cols: []relation.Column{
+			{Name: "ID", Type: relation.TypeInt},
+			{Name: "Name", Type: relation.TypeString},
+			{Name: "Dept", Type: relation.TypeInt},
+			{Name: "Photo", Type: relation.TypeBytes},
+			{Name: "vis_clerk", Type: relation.TypeBool},
+		},
+	}
+	rel, err := relation.New(schema, 0, 100000)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// The exact Figure 1 rows; record D (8010) is confidential to clerks.
+	for _, r := range []struct {
+		salary   uint64
+		id       int64
+		name     string
+		dept     int64
+		clerkVis bool
+	}{
+		{2000, 5, "A", 1, true}, {3500, 2, "C", 2, true}, {8010, 1, "D", 1, false},
+		{12100, 4, "B", 3, true}, {25000, 3, "E", 2, true},
+	} {
+		if _, err := rel.Insert(relation.Tuple{Key: r.salary, Attrs: []relation.Value{
+			relation.IntVal(r.id), relation.StringVal(r.name), relation.IntVal(r.dept),
+			relation.BytesVal(make([]byte, 128)), relation.BoolVal(r.clerkVis),
+		}}); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	own, err := owner.New(h, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := own.Publish(rel, core.DefaultBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	roles := map[string]accessctl.Role{
+		"manager": {Name: "manager"},
+		"exec":    {Name: "exec", KeyHi: 8999},
+		"clerk":   {Name: "clerk", VisibilityCol: "vis_clerk", Cols: []string{"ID", "Name", "Dept", "vis_clerk"}},
+	}
+	pub := engine.NewPublisher(h, own.PublicKey(), accessctl.NewPolicy(
+		roles["manager"], roles["exec"], roles["clerk"]))
+	if err := pub.AddRelation(sr, true); err != nil {
+		log.Fatal(err)
+	}
+	v := verify.New(h, own.PublicKey(), sr.Params, schema)
+
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 9999, Project: []string{"Name", "Dept"}}
+	for _, roleName := range []string{"manager", "exec", "clerk"} {
+		res, err := pub.Execute(roleName, q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rows, err := v.VerifyResult(q, roles[roleName], res)
+		if err != nil {
+			log.Fatalf("%s: verification failed: %v", roleName, err)
+		}
+		fmt.Printf("%-8s query 'Salary < 10000' -> rewritten to [%d, %d], %d verified rows:\n",
+			roleName, res.Effective.KeyLo, res.Effective.KeyHi, len(rows))
+		for _, r := range rows {
+			fmt.Printf("  salary=%-6d", r.Key)
+			for _, d := range r.Values {
+				fmt.Printf(" %s=%v", schema.Cols[d.Col].Name, d.Val)
+			}
+			fmt.Println()
+		}
+		hidden := 0
+		for _, e := range res.VO.Entries {
+			if e.Mode == engine.EntryFilteredHidden {
+				hidden++
+			}
+		}
+		if hidden > 0 {
+			fmt.Printf("  (+%d record(s) proven present but hidden by policy — count disclosed, contents not)\n", hidden)
+		}
+	}
+
+	// A multipoint query: Salary < 10000 AND Dept = 1 (Section 4.4).
+	mq := engine.Query{
+		Relation: "Emp", KeyLo: 1, KeyHi: 9999,
+		Filters: []engine.Filter{{Col: "Dept", Op: engine.OpEq, Val: relation.IntVal(1)}},
+	}
+	res, err := pub.Execute("manager", mq)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rows, err := v.VerifyResult(mq, roles["manager"], res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("multipoint 'Salary < 10000 AND Dept = 1': %d verified rows (record 3500 proven filtered, not omitted)\n", len(rows))
+}

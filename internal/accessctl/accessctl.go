@@ -1,0 +1,130 @@
+// Package accessctl models the access-control side of the data-publishing
+// scenario (Sections 1 and 4.4): role-based row and column policies that
+// the publisher enforces by query rewriting, plus the per-user-group
+// visibility columns the owner adds for record-level policies that are not
+// expressible as key ranges.
+//
+// The motivating example (Figure 1): the HR manager sees every record,
+// while the HR executive sees only records with Salary < 9000. The
+// executive's query "Salary < 10000" is rewritten to "Salary < 9000"; the
+// scheme must then prove completeness of the *rewritten* range without
+// leaking the out-of-range record — precisely what the Devanbu baseline
+// cannot do.
+package accessctl
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/relation"
+)
+
+// Unbounded marks a row policy with no restriction on that side.
+const Unbounded = ^uint64(0)
+
+// Role is one principal class with row, column, and record-level rights.
+type Role struct {
+	Name string
+	// KeyLo and KeyHi bound the keys the role may see (inclusive).
+	// Zero or Unbounded means no restriction on that side, so the zero
+	// Role value grants unrestricted access.
+	KeyLo, KeyHi uint64
+	// Cols lists the non-key columns the role may see; nil means all.
+	// The sort key K is always visible (the user needs it to verify
+	// completeness, Section 4.2).
+	Cols []string
+	// VisibilityCol names the boolean column that flags record-level
+	// visibility for this role's user group (Section 4.4, Case 2).
+	// Empty means no record-level policy.
+	VisibilityCol string
+}
+
+// ErrUnknownRole reports a role the policy does not define.
+var ErrUnknownRole = errors.New("accessctl: unknown role")
+
+// Policy maps role names to their rights.
+type Policy struct {
+	Roles map[string]Role
+}
+
+// NewPolicy builds a policy from roles.
+func NewPolicy(roles ...Role) Policy {
+	m := make(map[string]Role, len(roles))
+	for _, r := range roles {
+		m[r.Name] = r
+	}
+	return Policy{Roles: m}
+}
+
+// Role returns the named role.
+func (p Policy) Role(name string) (Role, error) {
+	r, ok := p.Roles[name]
+	if !ok {
+		return Role{}, fmt.Errorf("%w: %q", ErrUnknownRole, name)
+	}
+	return r, nil
+}
+
+// ClampRange intersects a requested key range with the role's row policy.
+// The second return is false when the intersection is empty.
+func (r Role) ClampRange(lo, hi uint64) (uint64, uint64, bool) {
+	if r.KeyLo != 0 && r.KeyLo != Unbounded && lo < r.KeyLo {
+		lo = r.KeyLo
+	}
+	if r.KeyHi != 0 && r.KeyHi != Unbounded && hi > r.KeyHi {
+		hi = r.KeyHi
+	}
+	return lo, hi, lo <= hi
+}
+
+// ColAllowed reports whether the role may see the named column.
+func (r Role) ColAllowed(name string) bool {
+	if r.Cols == nil {
+		return true
+	}
+	for _, c := range r.Cols {
+		if c == name {
+			return true
+		}
+	}
+	return false
+}
+
+// FilterCols returns the subset of requested columns the role may see.
+// nil requested means "all allowed".
+func (r Role) FilterCols(schema relation.Schema, requested []string) []string {
+	if requested == nil {
+		if r.Cols == nil {
+			return nil // all columns
+		}
+		out := make([]string, 0, len(r.Cols))
+		for _, c := range r.Cols {
+			if schema.ColIndex(c) >= 0 {
+				out = append(out, c)
+			}
+		}
+		return out
+	}
+	out := make([]string, 0, len(requested))
+	for _, c := range requested {
+		if r.ColAllowed(c) && schema.ColIndex(c) >= 0 {
+			out = append(out, c)
+		}
+	}
+	return out
+}
+
+// RecordVisible evaluates the role's record-level policy on a tuple: true
+// unless the role has a visibility column and the tuple's value in it is
+// false.
+func (r Role) RecordVisible(schema relation.Schema, t relation.Tuple) bool {
+	if r.VisibilityCol == "" {
+		return true
+	}
+	i := schema.ColIndex(r.VisibilityCol)
+	if i < 0 {
+		return true // no such column in this relation: policy vacuous
+	}
+	v := t.Attrs[i]
+	return v.Type != relation.TypeBool || v.Bool
+}

@@ -1,0 +1,116 @@
+package accessctl
+
+import (
+	"testing"
+
+	"vcqr/internal/relation"
+)
+
+func schema() relation.Schema {
+	return relation.Schema{
+		Name:    "Emp",
+		KeyName: "Salary",
+		Cols: []relation.Column{
+			{Name: "Name", Type: relation.TypeString},
+			{Name: "Dept", Type: relation.TypeInt},
+			{Name: "Photo", Type: relation.TypeBytes},
+			{Name: "vis_clerk", Type: relation.TypeBool},
+		},
+	}
+}
+
+func TestPolicyLookup(t *testing.T) {
+	p := NewPolicy(Role{Name: "manager"}, Role{Name: "exec", KeyHi: 8999})
+	if _, err := p.Role("manager"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Role("intern"); err == nil {
+		t.Fatal("unknown role accepted")
+	}
+}
+
+func TestClampRange(t *testing.T) {
+	cases := []struct {
+		role   Role
+		lo, hi uint64
+		wLo    uint64
+		wHi    uint64
+		ok     bool
+	}{
+		{Role{}, 1, 100, 1, 100, true},                     // zero role: unrestricted
+		{Role{KeyHi: 8999}, 1, 9999, 1, 8999, true},        // Figure 1 HR executive
+		{Role{KeyHi: 8999}, 9000, 9999, 9000, 8999, false}, // fully outside rights
+		{Role{KeyLo: 500}, 1, 100, 500, 100, false},        // below rights
+		{Role{KeyLo: 10, KeyHi: 20}, 1, 100, 10, 20, true}, // both sides clamp
+		{Role{KeyHi: Unbounded}, 5, 50, 5, 50, true},       // explicit unbounded
+		{Role{KeyLo: 10, KeyHi: 20}, 15, 18, 15, 18, true}, // inside rights
+	}
+	for i, c := range cases {
+		lo, hi, ok := c.role.ClampRange(c.lo, c.hi)
+		if ok != c.ok || (ok && (lo != c.wLo || hi != c.wHi)) {
+			t.Errorf("case %d: ClampRange(%d,%d) = (%d,%d,%v), want (%d,%d,%v)",
+				i, c.lo, c.hi, lo, hi, ok, c.wLo, c.wHi, c.ok)
+		}
+	}
+}
+
+func TestColAllowed(t *testing.T) {
+	all := Role{}
+	if !all.ColAllowed("anything") {
+		t.Error("nil Cols must allow everything")
+	}
+	limited := Role{Cols: []string{"Name", "Dept"}}
+	if !limited.ColAllowed("Name") || limited.ColAllowed("Photo") {
+		t.Error("column policy not enforced")
+	}
+}
+
+func TestFilterCols(t *testing.T) {
+	s := schema()
+	limited := Role{Cols: []string{"Name", "Dept"}}
+	// Requested nil: role's allowed set.
+	got := limited.FilterCols(s, nil)
+	if len(got) != 2 || got[0] != "Name" || got[1] != "Dept" {
+		t.Errorf("FilterCols(nil) = %v", got)
+	}
+	// Requested superset: clipped.
+	got = limited.FilterCols(s, []string{"Name", "Photo"})
+	if len(got) != 1 || got[0] != "Name" {
+		t.Errorf("FilterCols(superset) = %v", got)
+	}
+	// Unrestricted role, nil request: nil (all).
+	if all := (Role{}).FilterCols(s, nil); all != nil {
+		t.Errorf("unrestricted FilterCols(nil) = %v, want nil", all)
+	}
+	// Unknown requested column dropped.
+	got = (Role{}).FilterCols(s, []string{"Name", "Bogus"})
+	if len(got) != 1 || got[0] != "Name" {
+		t.Errorf("FilterCols(unknown) = %v", got)
+	}
+}
+
+func TestRecordVisible(t *testing.T) {
+	s := schema()
+	mk := func(vis bool) relation.Tuple {
+		return relation.Tuple{Key: 1, Attrs: []relation.Value{
+			relation.StringVal("A"), relation.IntVal(1),
+			relation.BytesVal(nil), relation.BoolVal(vis),
+		}}
+	}
+	clerk := Role{Name: "clerk", VisibilityCol: "vis_clerk"}
+	if clerk.RecordVisible(s, mk(false)) {
+		t.Error("hidden record visible to clerk")
+	}
+	if !clerk.RecordVisible(s, mk(true)) {
+		t.Error("visible record hidden from clerk")
+	}
+	manager := Role{Name: "manager"}
+	if !manager.RecordVisible(s, mk(false)) {
+		t.Error("role without visibility column must see everything")
+	}
+	// Visibility column absent from the schema: policy vacuous.
+	ghost := Role{Name: "ghost", VisibilityCol: "vis_ghost"}
+	if !ghost.RecordVisible(s, mk(false)) {
+		t.Error("missing visibility column must not hide records")
+	}
+}

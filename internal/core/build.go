@@ -1,0 +1,433 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// SignedRelation is the owner's authenticated form of a relation: the
+// tuples sorted on K, bracketed by the two fictitious delimiter records
+// (Section 3.1), each carrying its digest material and neighbour-chained
+// signature. The owner distributes it to publishers; it contains no
+// secrets.
+type SignedRelation struct {
+	Params Params
+	Schema relation.Schema
+	// Recs[0] is the left delimiter (key L), Recs[len-1] the right
+	// delimiter (key U), and Recs[1..n] the data records in key order.
+	Recs []SignedRecord
+}
+
+// ErrRelationMismatch reports a relation whose domain differs from Params.
+var ErrRelationMismatch = errors.New("core: relation domain does not match params")
+
+// Build signs a relation: it computes the chain structures and g(r) for
+// every record, inserts the delimiters, and produces the neighbour-chained
+// signatures of formula (1).
+func Build(h *hashx.Hasher, key *sig.PrivateKey, p Params, rel *relation.Relation) (*SignedRelation, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	if rel.L != p.L || rel.U != p.U {
+		return nil, fmt.Errorf("%w: relation (%d,%d) vs params (%d,%d)", ErrRelationMismatch, rel.L, rel.U, p.L, p.U)
+	}
+	if err := rel.Validate(); err != nil {
+		return nil, err
+	}
+	sr := &SignedRelation{Params: p, Schema: rel.Schema}
+	sr.Recs = make([]SignedRecord, rel.Len()+2)
+	left, err := makeDelim(h, p, KindDelimLeft)
+	if err != nil {
+		return nil, err
+	}
+	sr.Recs[0] = left
+	right, err := makeDelim(h, p, KindDelimRight)
+	if err != nil {
+		return nil, err
+	}
+	sr.Recs[len(sr.Recs)-1] = right
+
+	// Record digests are independent of each other; derive them in
+	// parallel. Signing then needs the neighbours' g digests, so it runs
+	// as a second parallel pass. The result is byte-identical to a
+	// sequential build (everything is deterministic and indexed).
+	if err := parallelRange(rel.Len(), func(i int) error {
+		rec, err := makeRecord(h, p, rel.Tuples[i])
+		if err != nil {
+			return err
+		}
+		sr.Recs[i+1] = rec
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	if err := parallelRange(len(sr.Recs), func(i int) error {
+		sr.Recs[i].Sig = key.Sign(sr.sigDigest(h, i))
+		return nil
+	}); err != nil {
+		return nil, err
+	}
+	return sr, nil
+}
+
+// parallelRange runs fn(0..n-1) across a bounded worker pool, returning
+// the first error. Small inputs run inline.
+func parallelRange(n int, fn func(i int) error) error {
+	workers := runtime.GOMAXPROCS(0)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var (
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+		next int
+		fail error
+	)
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				if fail != nil || next >= n {
+					mu.Unlock()
+					return
+				}
+				i := next
+				next++
+				mu.Unlock()
+				if err := fn(i); err != nil {
+					mu.Lock()
+					if fail == nil {
+						fail = err
+					}
+					mu.Unlock()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	return fail
+}
+
+// makeRecord derives the digest material for a data tuple.
+func makeRecord(h *hashx.Hasher, p Params, t relation.Tuple) (SignedRecord, error) {
+	if t.Key <= p.L || t.Key >= p.U {
+		return SignedRecord{}, fmt.Errorf("%w: key %d", ErrKeyDomain, t.Key)
+	}
+	up, err := buildChainSide(h, p, t.Key, Up)
+	if err != nil {
+		return SignedRecord{}, err
+	}
+	down, err := buildChainSide(h, p, t.Key, Down)
+	if err != nil {
+		return SignedRecord{}, err
+	}
+	attrRoot := AttrRoot(h, t)
+	return SignedRecord{
+		Kind:         KindRecord,
+		Tuple:        t.Clone(),
+		UpRoot:       up.RepRoot(),
+		DownRoot:     down.RepRoot(),
+		UpCombined:   up.Combined,
+		DownCombined: down.Combined,
+		AttrRoot:     attrRoot,
+		G:            recordG(h, KindRecord, up.Combined, down.Combined, attrRoot),
+	}, nil
+}
+
+// makeDelim derives the digest material for a delimiter. The left
+// delimiter sits at key L and has only an Up chain; the right delimiter
+// sits at key U and has only a Down chain.
+func makeDelim(h *hashx.Hasher, p Params, kind Kind) (SignedRecord, error) {
+	var (
+		key      uint64
+		up, down hashx.Digest
+		upRoot   hashx.Digest
+		downRoot hashx.Digest
+	)
+	switch kind {
+	case KindDelimLeft:
+		key = p.L
+		side, err := buildChainSide(h, p, key, Up)
+		if err != nil {
+			return SignedRecord{}, err
+		}
+		up, upRoot = side.Combined, side.RepRoot()
+		down = markerNoChain(h)
+	case KindDelimRight:
+		key = p.U
+		side, err := buildChainSide(h, p, key, Down)
+		if err != nil {
+			return SignedRecord{}, err
+		}
+		down, downRoot = side.Combined, side.RepRoot()
+		up = markerNoChain(h)
+	default:
+		return SignedRecord{}, fmt.Errorf("core: makeDelim on kind %v", kind)
+	}
+	attrRoot := markerDelimAttr(h)
+	return SignedRecord{
+		Kind:         kind,
+		Tuple:        relation.Tuple{Key: key},
+		UpRoot:       upRoot,
+		DownRoot:     downRoot,
+		UpCombined:   up,
+		DownCombined: down,
+		AttrRoot:     attrRoot,
+		G:            recordG(h, kind, up, down, attrRoot),
+	}, nil
+}
+
+// sigDigest computes the formula (1) pre-signature digest for entry i,
+// with the paper's h(L) / h(U) virtual neighbours at the two ends and the
+// publication version bound in (see Params.Version).
+func (sr *SignedRelation) sigDigest(h *hashx.Hasher, i int) hashx.Digest {
+	var prev, next hashx.Digest
+	if i == 0 {
+		prev = virtualEndDigest(h, sr.Params.L)
+	} else {
+		prev = sr.Recs[i-1].G
+	}
+	if i == len(sr.Recs)-1 {
+		next = virtualEndDigest(h, sr.Params.U)
+	} else {
+		next = sr.Recs[i+1].G
+	}
+	return h.SigDigest(versionedG(h, sr.Params, prev), sr.Recs[i].G, versionedG(h, sr.Params, next))
+}
+
+// versionedG binds the publication version to a neighbour digest before
+// signing. Folding the version into the neighbour slots (rather than a
+// fourth SigDigest input) keeps the signed payload at the paper's three
+// components while making every signature version-specific.
+func versionedG(h *hashx.Hasher, p Params, g hashx.Digest) hashx.Digest {
+	if p.Version == 0 {
+		return g // version 0: the paper's original, unversioned form
+	}
+	return h.Hash(hashx.U64(p.Version), g)
+}
+
+// SigDigestFor is the user-side counterpart of sigDigest: the digest a
+// signature must verify against given the three reconstructed g values.
+// Callers pass nil for prev/next at the virtual ends. The expected
+// version comes from Params, which the user obtained over the
+// authenticated channel — a stale publication fails here.
+func SigDigestFor(h *hashx.Hasher, p Params, prev, cur, next hashx.Digest) hashx.Digest {
+	if prev == nil {
+		prev = virtualEndDigest(h, p.L)
+	}
+	if next == nil {
+		next = virtualEndDigest(h, p.U)
+	}
+	return h.SigDigest(versionedG(h, p, prev), cur, versionedG(h, p, next))
+}
+
+// Len returns the number of data records (excluding delimiters).
+func (sr *SignedRelation) Len() int { return len(sr.Recs) - 2 }
+
+// RangeIndices returns the half-open interval [a, b) over sr.Recs of data
+// records with keys in [lo, hi]. Delimiters never qualify because data
+// keys are strictly inside (L, U).
+func (sr *SignedRelation) RangeIndices(lo, hi uint64) (int, int) {
+	a := 1
+	for a < len(sr.Recs)-1 && sr.Recs[a].Key() < lo {
+		a++
+	}
+	b := a
+	for b < len(sr.Recs)-1 && sr.Recs[b].Key() <= hi {
+		b++
+	}
+	return a, b
+}
+
+// Validate rebuilds every digest and checks every signature; used by
+// publishers on receipt of a snapshot and by tests.
+func (sr *SignedRelation) Validate(h *hashx.Hasher, pub *sig.PublicKey) error {
+	if len(sr.Recs) < 2 {
+		return errors.New("core: signed relation missing delimiters")
+	}
+	if sr.Recs[0].Kind != KindDelimLeft || sr.Recs[len(sr.Recs)-1].Kind != KindDelimRight {
+		return errors.New("core: delimiters missing or mislabelled")
+	}
+	for i, rec := range sr.Recs {
+		if i > 0 && i < len(sr.Recs)-1 {
+			if rec.Kind != KindRecord {
+				return fmt.Errorf("core: interior entry %d has kind %v", i, rec.Kind)
+			}
+			prev := sr.Recs[i-1]
+			if prev.Kind == KindRecord {
+				if prev.Key() > rec.Key() || (prev.Key() == rec.Key() && prev.Tuple.RowID >= rec.Tuple.RowID) {
+					return fmt.Errorf("core: entries %d,%d out of order", i-1, i)
+				}
+			}
+			want, err := makeRecord(h, sr.Params, rec.Tuple)
+			if err != nil {
+				return err
+			}
+			if !want.G.Equal(rec.G) {
+				return fmt.Errorf("core: entry %d digest mismatch", i)
+			}
+		}
+		if !pub.Verify(sr.sigDigest(h, i), rec.Sig) {
+			return fmt.Errorf("core: entry %d signature invalid", i)
+		}
+	}
+	return nil
+}
+
+// Clone returns a deep copy of the signed relation (used by publishers to
+// keep a pre-delta snapshot and by tests).
+func (sr *SignedRelation) Clone() *SignedRelation {
+	out := &SignedRelation{Params: sr.Params, Schema: sr.Schema}
+	out.Recs = make([]SignedRecord, len(sr.Recs))
+	for i, r := range sr.Recs {
+		out.Recs[i] = r.Clone()
+	}
+	return out
+}
+
+// VerifyEntrySig checks the formula-(1) signature of entry i against the
+// stored g digests of its neighbours. This is the cheap local check a
+// publisher runs on records touched by an incremental update.
+func (sr *SignedRelation) VerifyEntrySig(h *hashx.Hasher, pub *sig.PublicKey, i int) bool {
+	if i < 0 || i >= len(sr.Recs) {
+		return false
+	}
+	return pub.Verify(sr.sigDigest(h, i), sr.Recs[i].Sig)
+}
+
+// CheckEntryDigests recomputes entry i's digest material from its tuple
+// and compares against the stored values — the expensive half of
+// publisher-side validation, catching an owner feed whose G digests do
+// not match the tuples they claim to cover.
+func (sr *SignedRelation) CheckEntryDigests(h *hashx.Hasher, i int) error {
+	if i < 0 || i >= len(sr.Recs) {
+		return fmt.Errorf("core: entry %d out of range", i)
+	}
+	rec := sr.Recs[i]
+	var want SignedRecord
+	var err error
+	if rec.Kind == KindRecord {
+		want, err = makeRecord(h, sr.Params, rec.Tuple)
+	} else {
+		want, err = makeDelim(h, sr.Params, rec.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	if !want.G.Equal(rec.G) || !want.UpRoot.Equal(rec.UpRoot) || !want.DownRoot.Equal(rec.DownRoot) {
+		return fmt.Errorf("core: entry %d digest material inconsistent with its tuple", i)
+	}
+	return nil
+}
+
+// Insert adds a tuple to the signed relation, maintaining sort order and
+// replica numbering, and re-signs the minimal set of entries: the new
+// record and its two neighbours. It returns the number of signatures
+// recomputed (always 3) — the Section 6.3 update-cost story.
+func (sr *SignedRelation) Insert(h *hashx.Hasher, key *sig.PrivateKey, t relation.Tuple) (resigned int, err error) {
+	if len(t.Attrs) != len(sr.Schema.Cols) {
+		return 0, relation.ErrArity
+	}
+	if t.Key <= sr.Params.L || t.Key >= sr.Params.U {
+		return 0, fmt.Errorf("%w: key %d", ErrKeyDomain, t.Key)
+	}
+	// Assign a replica number unique among equal keys.
+	var replica uint64
+	pos := 1
+	for ; pos < len(sr.Recs)-1; pos++ {
+		rec := sr.Recs[pos]
+		if rec.Key() > t.Key {
+			break
+		}
+		if rec.Key() == t.Key && rec.Tuple.RowID >= replica {
+			replica = rec.Tuple.RowID + 1
+		}
+	}
+	t.RowID = replica
+	rec, err := makeRecord(h, sr.Params, t)
+	if err != nil {
+		return 0, err
+	}
+	sr.Recs = append(sr.Recs, SignedRecord{})
+	copy(sr.Recs[pos+1:], sr.Recs[pos:])
+	sr.Recs[pos] = rec
+	return sr.resignAround(h, key, pos), nil
+}
+
+// Delete removes the record with (key, rowID) and re-signs its two former
+// neighbours. It reports the number of signatures recomputed (2), or an
+// error if the record does not exist.
+func (sr *SignedRelation) Delete(h *hashx.Hasher, key *sig.PrivateKey, k, rowID uint64) (resigned int, err error) {
+	pos := -1
+	for i := 1; i < len(sr.Recs)-1; i++ {
+		if sr.Recs[i].Key() == k && sr.Recs[i].Tuple.RowID == rowID {
+			pos = i
+			break
+		}
+	}
+	if pos < 0 {
+		return 0, fmt.Errorf("core: delete: record (%d,%d) not found", k, rowID)
+	}
+	sr.Recs = append(sr.Recs[:pos], sr.Recs[pos+1:]...)
+	n := 0
+	for _, i := range []int{pos - 1, pos} {
+		if i >= 0 && i < len(sr.Recs) {
+			sr.Recs[i].Sig = key.Sign(sr.sigDigest(h, i))
+			n++
+		}
+	}
+	return n, nil
+}
+
+// UpdateAttrs replaces the non-key attributes of the record with
+// (key, rowID) and re-signs the record and its two neighbours (3
+// signatures: the doubly-linked-list locality argument of Section 6.3).
+func (sr *SignedRelation) UpdateAttrs(h *hashx.Hasher, key *sig.PrivateKey, k, rowID uint64, attrs []relation.Value) (resigned int, err error) {
+	if len(attrs) != len(sr.Schema.Cols) {
+		return 0, relation.ErrArity
+	}
+	for i := 1; i < len(sr.Recs)-1; i++ {
+		if sr.Recs[i].Key() == k && sr.Recs[i].Tuple.RowID == rowID {
+			t := sr.Recs[i].Tuple.Clone()
+			t.Attrs = attrs
+			rec, err := makeRecord(h, sr.Params, t)
+			if err != nil {
+				return 0, err
+			}
+			sr.Recs[i] = rec
+			return sr.resignAround(h, key, i), nil
+		}
+	}
+	return 0, fmt.Errorf("core: update: record (%d,%d) not found", k, rowID)
+}
+
+// resignAround recomputes the signatures of entry pos and its immediate
+// neighbours; a change to g(r_i) invalidates exactly sig(r_{i-1}),
+// sig(r_i), sig(r_{i+1}) by formula (1).
+func (sr *SignedRelation) resignAround(h *hashx.Hasher, key *sig.PrivateKey, pos int) int {
+	n := 0
+	for _, i := range []int{pos - 1, pos, pos + 1} {
+		if i >= 0 && i < len(sr.Recs) {
+			sr.Recs[i].Sig = key.Sign(sr.sigDigest(h, i))
+			n++
+		}
+	}
+	return n
+}

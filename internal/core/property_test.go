@@ -1,0 +1,212 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"vcqr/internal/basep"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+)
+
+// TestChainProofCoversEveryRepresentationIndex forces the non-canonical
+// path at every preferred-representation index: for each index i we
+// search for a (key, bound) pair whose Select lands on i, then run the
+// full prove/verify round trip. This pins down the audit-path handling
+// for every leaf of the representation tree.
+func TestChainProofCoversEveryRepresentationIndex(t *testing.T) {
+	p := mustParams(t, 0, 1<<16, 2)
+	h := hashx.New()
+	m := p.BP.M()
+	covered := make(map[int]bool)
+	rng := rand.New(rand.NewSource(61))
+	for trial := 0; trial < 20000 && len(covered) < m-2; trial++ {
+		key := uint64(rng.Intn(1<<16-2)) + 1
+		bound := key + 1 + uint64(rng.Intn(int((uint64(1)<<16)-key-1)))
+		if bound >= 1<<16 {
+			continue
+		}
+		dt, err := p.deltaT(key, Up)
+		if err != nil {
+			continue
+		}
+		dc, err := p.deltaC(bound, Up)
+		if err != nil || dc > dt {
+			continue
+		}
+		sel, err := basep.Select(p.BP, dt, dc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sel.Canonical || covered[sel.Index] {
+			continue
+		}
+		covered[sel.Index] = true
+
+		side, err := buildChainSide(h, p, key, Up)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dcChains := newDigitChains(h, p, key, Up)
+		proof, err := dcChains.proveChain(h, side, bound)
+		if err != nil {
+			t.Fatalf("index %d: %v", sel.Index, err)
+		}
+		if proof.Canonical || proof.Index != sel.Index {
+			t.Fatalf("index %d: proof landed on %d (canonical=%v)", sel.Index, proof.Index, proof.Canonical)
+		}
+		combined, err := verifyChain(h, p, proof, Up, bound)
+		if err != nil {
+			t.Fatalf("index %d verify: %v", sel.Index, err)
+		}
+		if !combined.Equal(side.Combined) {
+			t.Fatalf("index %d: combined digest mismatch", sel.Index)
+		}
+	}
+	if len(covered) < 5 {
+		t.Fatalf("only covered %d non-canonical indexes; want broad coverage", len(covered))
+	}
+}
+
+// TestAttrRootDisclosureEquivalence: for every subset of disclosed
+// columns, AttrRootFromDisclosure must reproduce the owner's AttrRoot.
+func TestAttrRootDisclosureEquivalence(t *testing.T) {
+	h := hashx.New()
+	tuple := relation.Tuple{
+		Key:   42,
+		RowID: 3,
+		Attrs: []relation.Value{
+			relation.IntVal(7),
+			relation.StringVal("abc"),
+			relation.BytesVal([]byte{1, 2, 3}),
+			relation.BoolVal(true),
+		},
+	}
+	want := AttrRoot(h, tuple)
+	leaves := AttrLeaves(h, tuple)
+	nLeaves := len(tuple.Attrs) + 1
+	// All 2^4 disclosure subsets of the 4 columns (row-id always hidden).
+	for mask := 0; mask < 16; mask++ {
+		disclosed := map[int][]byte{}
+		hidden := map[int]hashx.Digest{0: leaves[0]}
+		for c := 0; c < 4; c++ {
+			if mask&(1<<c) != 0 {
+				disclosed[c+1] = tuple.Attrs[c].Encode()
+			} else {
+				hidden[c+1] = leaves[c+1]
+			}
+		}
+		got, err := AttrRootFromDisclosure(h, nLeaves, disclosed, hidden)
+		if err != nil {
+			t.Fatalf("mask %04b: %v", mask, err)
+		}
+		if !got.Equal(want) {
+			t.Fatalf("mask %04b: root mismatch", mask)
+		}
+	}
+}
+
+func TestAttrRootDisclosureRejectsInconsistency(t *testing.T) {
+	h := hashx.New()
+	tuple := relation.Tuple{Key: 1, Attrs: []relation.Value{relation.IntVal(7)}}
+	leaves := AttrLeaves(h, tuple)
+	// Wrong count.
+	if _, err := AttrRootFromDisclosure(h, 2, map[int][]byte{}, map[int]hashx.Digest{0: leaves[0]}); err == nil {
+		t.Error("short disclosure accepted")
+	}
+	// Overlapping leaf.
+	if _, err := AttrRootFromDisclosure(h, 2,
+		map[int][]byte{1: tuple.Attrs[0].Encode()},
+		map[int]hashx.Digest{0: leaves[0], 1: leaves[1]}); err == nil {
+		t.Error("overlapping disclosure accepted")
+	}
+	// Malformed digest width.
+	if _, err := AttrRootFromDisclosure(h, 2,
+		map[int][]byte{1: tuple.Attrs[0].Encode()},
+		map[int]hashx.Digest{0: leaves[0][:4]}); err == nil {
+		t.Error("short digest accepted")
+	}
+}
+
+// TestGDistinctAcrossKeysAndKinds: g must separate records by key, kind,
+// and attributes (quick property over random pairs).
+func TestGDistinctAcrossKeysAndKinds(t *testing.T) {
+	h := hashx.New()
+	p := mustParams(t, 0, 1<<20, 2)
+	f := func(k1, k2 uint32, a1, a2 int64) bool {
+		key1 := uint64(k1)%(1<<20-2) + 1
+		key2 := uint64(k2)%(1<<20-2) + 1
+		t1 := relation.Tuple{Key: key1, Attrs: []relation.Value{relation.IntVal(a1)}}
+		t2 := relation.Tuple{Key: key2, Attrs: []relation.Value{relation.IntVal(a2)}}
+		r1, err := makeRecord(h, p, t1)
+		if err != nil {
+			return false
+		}
+		r2, err := makeRecord(h, p, t2)
+		if err != nil {
+			return false
+		}
+		if key1 == key2 && a1 == a2 {
+			return r1.G.Equal(r2.G)
+		}
+		return !r1.G.Equal(r2.G)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestVerifyEntrySigAndCheckEntryDigests covers the delta-sync helpers.
+func TestVerifyEntrySigAndCheckEntryDigests(t *testing.T) {
+	h, sr := buildPaper(t, 10)
+	pub := signKey(t).Public()
+	for i := range sr.Recs {
+		if !sr.VerifyEntrySig(h, pub, i) {
+			t.Fatalf("entry %d signature invalid", i)
+		}
+		if err := sr.CheckEntryDigests(h, i); err != nil {
+			t.Fatalf("entry %d digests: %v", i, err)
+		}
+	}
+	if sr.VerifyEntrySig(h, pub, -1) || sr.VerifyEntrySig(h, pub, len(sr.Recs)) {
+		t.Fatal("out-of-range entries verified")
+	}
+	// Tamper one record's tuple: digests check must fail.
+	sr.Recs[2].Tuple.Attrs[0] = relation.IntVal(999)
+	if err := sr.CheckEntryDigests(h, 2); err == nil {
+		t.Fatal("tampered tuple passed digest check")
+	}
+}
+
+// TestCloneIndependence: mutations to a clone never affect the original.
+func TestCloneIndependence(t *testing.T) {
+	h, sr := buildPaper(t, 10)
+	cl := sr.Clone()
+	cl.Recs[1].Sig[0] ^= 0xff
+	cl.Recs[1].G[0] ^= 0xff
+	cl.Recs = cl.Recs[:3]
+	if err := sr.Validate(h, signKey(t).Public()); err != nil {
+		t.Fatalf("original corrupted by clone mutation: %v", err)
+	}
+}
+
+// TestDirectionSeparation: the up and down chains of the same key must
+// never share digests, even when their delta values coincide.
+func TestDirectionSeparation(t *testing.T) {
+	h := hashx.New()
+	// Symmetric domain: key at the midpoint has equal deltas both ways.
+	p := mustParams(t, 0, 1000, 2)
+	key := uint64(500) // deltaT(up) = 499 = deltaT(down)
+	up, err := buildChainSide(h, p, key, Up)
+	if err != nil {
+		t.Fatal(err)
+	}
+	down, err := buildChainSide(h, p, key, Down)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if up.Combined.Equal(down.Combined) {
+		t.Fatal("up and down chains collide at the symmetric key")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"vcqr/internal/hashx"
+	"vcqr/internal/mht"
+	"vcqr/internal/relation"
+)
+
+// Kind tags the three classes of entries in a signed relation. Delimiters
+// are "certified as such by the owner" (Section 3.1): the kind byte enters
+// g(r), so a publisher cannot pass a real record off as a delimiter or
+// vice versa.
+type Kind byte
+
+// Entry kinds.
+const (
+	KindRecord     Kind = 1
+	KindDelimLeft  Kind = 2
+	KindDelimRight Kind = 3
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	switch k {
+	case KindRecord:
+		return "record"
+	case KindDelimLeft:
+		return "delim-left"
+	case KindDelimRight:
+		return "delim-right"
+	default:
+		return fmt.Sprintf("kind(%d)", byte(k))
+	}
+}
+
+// Marker digests for chain directions that do not exist on delimiters
+// (the left delimiter has no down chain, the right no up chain) and for
+// delimiter attribute trees. They are public constants of the scheme.
+func markerNoChain(h *hashx.Hasher) hashx.Digest { return h.Hash([]byte("core/no-chain")) }
+func markerDelimAttr(h *hashx.Hasher) hashx.Digest {
+	return h.Hash([]byte("core/delim-attr"))
+}
+
+// virtualEndDigest is the digest standing in for the non-existent
+// neighbour beyond a delimiter: the paper's h(L) and h(U) in
+// sig(r_0) = s(h(h(L) | g(r_0) | g(r_1))).
+func virtualEndDigest(h *hashx.Hasher, bound uint64) hashx.Digest {
+	return h.Hash([]byte("core/end"), hashx.U64(bound))
+}
+
+// AttrLeaves returns the leaf digests of the per-record attribute tree
+// MHT(r.A): leaf 0 is the row identifier (the replica number that
+// disambiguates duplicates), leaves 1..R are the encoded attribute values.
+func AttrLeaves(h *hashx.Hasher, t relation.Tuple) []hashx.Digest {
+	leaves := make([]hashx.Digest, len(t.Attrs)+1)
+	leaves[0] = h.Leaf(hashx.U64(t.RowID))
+	for i, a := range t.Attrs {
+		leaves[i+1] = h.Leaf(a.Encode())
+	}
+	return leaves
+}
+
+// AttrTree builds the per-record attribute tree.
+func AttrTree(h *hashx.Hasher, t relation.Tuple) *mht.Tree {
+	return mht.BuildFromDigests(h, AttrLeaves(h, t))
+}
+
+// AttrRoot returns the root of the per-record attribute tree, the
+// MHT(r.A) component of formula (3).
+func AttrRoot(h *hashx.Hasher, t relation.Tuple) hashx.Digest {
+	return AttrTree(h, t).Root()
+}
+
+// recordG computes g(r) from its components: the kind tag, the two
+// per-direction combined chain digests, and the attribute-tree root.
+// This is formula (3) with the concatenation hashed to a fixed width.
+func recordG(h *hashx.Hasher, kind Kind, up, down, attrRoot hashx.Digest) hashx.Digest {
+	return h.GDigest([]byte{byte(kind)}, up, down, attrRoot)
+}
+
+// SignedRecord is one entry of a signed relation as stored by the owner
+// and shipped to the publisher: the tuple plus the digest material needed
+// to build verification objects without re-deriving chains for every
+// result entry.
+type SignedRecord struct {
+	Kind  Kind
+	Tuple relation.Tuple
+
+	// UpRoot and DownRoot are the roots of the non-canonical-
+	// representation trees of the two chains; shipped per result entry.
+	UpRoot, DownRoot hashx.Digest
+	// UpCombined and DownCombined are the folded per-direction chain
+	// digests h(h(delta_t) | rep-tree root). They are shipped opaquely
+	// for Section 4.4 Case 2 entries, whose keys stay hidden.
+	UpCombined, DownCombined hashx.Digest
+	// AttrRoot is the root of MHT(r.A).
+	AttrRoot hashx.Digest
+	// G is the record digest g(r).
+	G hashx.Digest
+	// Sig is sig(r) per formula (1).
+	Sig []byte
+}
+
+// Clone returns a deep copy of the record.
+func (r SignedRecord) Clone() SignedRecord {
+	out := r
+	out.Tuple = r.Tuple.Clone()
+	out.UpRoot = r.UpRoot.Clone()
+	out.DownRoot = r.DownRoot.Clone()
+	out.UpCombined = r.UpCombined.Clone()
+	out.DownCombined = r.DownCombined.Clone()
+	out.AttrRoot = r.AttrRoot.Clone()
+	out.G = r.G.Clone()
+	out.Sig = append([]byte(nil), r.Sig...)
+	return out
+}
+
+// Key returns the record's sort-key value.
+func (r SignedRecord) Key() uint64 { return r.Tuple.Key }
+
+// EntryChainInfo is the per-result-entry digest material the publisher
+// ships so the user can recompute g(r) from the known key: the two
+// representation-tree roots (the third per-entry digest of formula (4),
+// MHT(r.A) or the row-id leaf, travels with the attribute disclosure).
+type EntryChainInfo struct {
+	UpRoot, DownRoot hashx.Digest
+}
+
+// GFromComponents recomputes g(r) from opaque combined chain digests and
+// an attribute root. This is the Section 4.4 Case 2 path: the record's key
+// stays hidden, so the user cannot derive the chain digests and receives
+// them as-is; the signature chain still binds them.
+func GFromComponents(h *hashx.Hasher, kind Kind, upCombined, downCombined, attrRoot hashx.Digest) hashx.Digest {
+	return recordG(h, kind, upCombined, downCombined, attrRoot)
+}
+
+// ErrDisclosure reports an inconsistent attribute disclosure.
+var errDisclosure = fmt.Errorf("core: inconsistent attribute disclosure")
+
+// AttrRootFromDisclosure rebuilds the root of MHT(r.A) from a partial
+// disclosure: disclosed maps leaf index -> encoded leaf pre-image (leaf 0
+// is the row id, leaf i+1 is attribute i), hidden supplies digests for
+// every other leaf. This implements the projection mechanism of Section
+// 4.2: projected-out attributes travel as digests, never as values.
+func AttrRootFromDisclosure(h *hashx.Hasher, nLeaves int, disclosed map[int][]byte, hidden map[int]hashx.Digest) (hashx.Digest, error) {
+	if len(disclosed)+len(hidden) != nLeaves {
+		return nil, fmt.Errorf("%w: %d disclosed + %d hidden != %d leaves", errDisclosure, len(disclosed), len(hidden), nLeaves)
+	}
+	leaves := make([]hashx.Digest, nLeaves)
+	for i := 0; i < nLeaves; i++ {
+		if enc, ok := disclosed[i]; ok {
+			if _, dup := hidden[i]; dup {
+				return nil, fmt.Errorf("%w: leaf %d both disclosed and hidden", errDisclosure, i)
+			}
+			leaves[i] = h.Leaf(enc)
+			continue
+		}
+		d, ok := hidden[i]
+		if !ok || len(d) != h.Size() {
+			return nil, fmt.Errorf("%w: leaf %d missing or malformed", errDisclosure, i)
+		}
+		leaves[i] = d
+	}
+	return mht.BuildFromDigests(h, leaves).Root(), nil
+}
+
+// EntryG recomputes g(r) for a record whose key and kind the user knows,
+// given the representation-tree roots from the VO and the attribute root
+// reconstructed from the (possibly partially disclosed) attributes.
+// This is the Figure 8(b) procedure.
+func EntryG(h *hashx.Hasher, p Params, key uint64, kind Kind, info EntryChainInfo, attrRoot hashx.Digest) (hashx.Digest, error) {
+	var up, down hashx.Digest
+	var err error
+	switch kind {
+	case KindDelimLeft:
+		up, err = entryCombined(h, p, key, Up, info.UpRoot)
+		down = markerNoChain(h)
+	case KindDelimRight:
+		up = markerNoChain(h)
+		down, err = entryCombined(h, p, key, Down, info.DownRoot)
+	default:
+		up, err = entryCombined(h, p, key, Up, info.UpRoot)
+		if err == nil {
+			down, err = entryCombined(h, p, key, Down, info.DownRoot)
+		}
+	}
+	if err != nil {
+		return nil, err
+	}
+	return recordG(h, kind, up, down, attrRoot), nil
+}

@@ -1,0 +1,145 @@
+package core_test
+
+// Freshness-binding tests live in an external test package because they
+// exercise the full publish/verify pipeline across versions.
+
+import (
+	"sync"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+	"vcqr/internal/verify"
+	"vcqr/internal/workload"
+)
+
+var (
+	keyOnce  sync.Once
+	ownerKey *sig.PrivateKey
+)
+
+func signKey(t testing.TB) *sig.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := sig.Generate(sig.DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		ownerKey = k
+	})
+	return ownerKey
+}
+
+func buildVersion(t testing.TB, h *hashx.Hasher, rel *relation.Relation, version uint64) *core.SignedRelation {
+	t.Helper()
+	p, err := core.NewParams(0, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Version = version
+	sr, err := core.Build(h, signKey(t), p, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sr
+}
+
+// TestStaleSnapshotRejected is the freshness scenario: the owner
+// republishes at version 2; a publisher still serving the version-1
+// snapshot produces results that fail verification under the user's
+// refreshed parameters — even though every record is individually
+// authentic and the range complete for the stale state.
+func TestStaleSnapshotRejected(t *testing.T) {
+	h := hashx.New()
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: 20, L: 0, U: 1 << 20, PhotoSize: 8, Seed: 91,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := buildVersion(t, h, rel, 1)
+	v2 := buildVersion(t, h, rel, 2)
+
+	role := accessctl.Role{Name: "all"}
+	stalePub := engine.NewPublisher(h, signKey(t).Public(), accessctl.NewPolicy(role))
+	if err := stalePub.AddRelation(v1, false); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := stalePub.Execute("all", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Under the stale parameters the result verifies (the snapshot is
+	// internally sound)...
+	oldVerifier := verify.New(h, signKey(t).Public(), v1.Params, v1.Schema)
+	if _, err := oldVerifier.VerifyResult(q, role, res); err != nil {
+		t.Fatalf("version-1 result under version-1 params: %v", err)
+	}
+	// ...but a user holding the refreshed (version-2) parameters rejects
+	// it.
+	newVerifier := verify.New(h, signKey(t).Public(), v2.Params, v2.Schema)
+	if _, err := newVerifier.VerifyResult(q, role, res); err == nil {
+		t.Fatal("stale snapshot accepted under refreshed parameters")
+	}
+
+	// And the current snapshot verifies under the current parameters.
+	freshPub := engine.NewPublisher(h, signKey(t).Public(), accessctl.NewPolicy(role))
+	if err := freshPub.AddRelation(v2, false); err != nil {
+		t.Fatal(err)
+	}
+	res2, err := freshPub.Execute("all", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := newVerifier.VerifyResult(q, role, res2); err != nil {
+		t.Fatalf("fresh result rejected: %v", err)
+	}
+}
+
+// TestVersionZeroIsUnversioned: version 0 keeps the paper's original
+// digest layout, so all pre-existing material remains valid.
+func TestVersionZeroIsUnversioned(t *testing.T) {
+	h := hashx.New()
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: 5, L: 0, U: 1 << 20, Seed: 92,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := buildVersion(t, h, rel, 0)
+	if err := sr.Validate(h, signKey(t).Public()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestVersionsProduceDistinctSignatures: the same data at different
+// versions must not share signatures (otherwise version stamps would be
+// transplantable).
+func TestVersionsProduceDistinctSignatures(t *testing.T) {
+	h := hashx.New()
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: 5, L: 0, U: 1 << 20, Seed: 93,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v1 := buildVersion(t, h, rel, 1)
+	v2 := buildVersion(t, h, rel, 2)
+	for i := range v1.Recs {
+		if sig.Signature(v1.Recs[i].Sig).Equal(sig.Signature(v2.Recs[i].Sig)) {
+			t.Fatalf("entry %d shares a signature across versions", i)
+		}
+	}
+	// G digests are version-independent (only signatures bind versions),
+	// so chain material can be reused by the owner when re-publishing.
+	for i := range v1.Recs {
+		if !v1.Recs[i].G.Equal(v2.Recs[i].G) {
+			t.Fatalf("entry %d g digest changed across versions", i)
+		}
+	}
+}

@@ -1,0 +1,207 @@
+// Package delta implements incremental owner-to-publisher synchronization
+// for signed relations — the deployment counterpart of Section 6.3's
+// update-cost argument. A record change invalidates only three
+// signatures, so the owner ships just the touched records instead of a
+// fresh snapshot; the publisher applies them and re-validates exactly the
+// affected neighbourhood.
+package delta
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+)
+
+// OpKind distinguishes the two record-level operations.
+type OpKind byte
+
+// Operation kinds.
+const (
+	OpUpsert OpKind = 1
+	OpDelete OpKind = 2
+)
+
+// Op is one record-level change. Upserts carry the full signed record
+// (tuple, digest material, new signature); deletes carry only the
+// identity. Neighbour re-signs show up as upserts of otherwise-unchanged
+// records with fresh signatures.
+type Op struct {
+	Kind       OpKind
+	Key, RowID uint64
+	Rec        core.SignedRecord // meaningful for OpUpsert
+}
+
+// Delta is an ordered batch of changes for one relation.
+type Delta struct {
+	Relation string
+	Ops      []Op
+}
+
+// Errors.
+var (
+	ErrRelationName = errors.New("delta: relation name mismatch")
+	ErrBadOp        = errors.New("delta: malformed operation")
+	ErrValidation   = errors.New("delta: post-apply validation failed")
+)
+
+// Diff computes the Ops that transform old into new: upserts for added
+// records and for records whose signature or digest material changed,
+// deletes for removed records. Both snapshots must be forms of the same
+// relation. Delimiter re-signs are included (they border edge updates).
+func Diff(old, new *core.SignedRelation) Delta {
+	d := Delta{Relation: new.Schema.Name}
+	type ident struct {
+		k, r uint64
+		kind core.Kind
+	}
+	index := func(sr *core.SignedRelation) map[ident]core.SignedRecord {
+		m := make(map[ident]core.SignedRecord, len(sr.Recs))
+		for _, rec := range sr.Recs {
+			m[ident{rec.Key(), rec.Tuple.RowID, rec.Kind}] = rec
+		}
+		return m
+	}
+	oldIdx := index(old)
+	newIdx := index(new)
+	for id, rec := range newIdx {
+		prev, ok := oldIdx[id]
+		if !ok || !sig.Signature(prev.Sig).Equal(sig.Signature(rec.Sig)) || !prev.G.Equal(rec.G) {
+			d.Ops = append(d.Ops, Op{Kind: OpUpsert, Key: id.k, RowID: id.r, Rec: rec.Clone()})
+		}
+	}
+	for id := range oldIdx {
+		if _, ok := newIdx[id]; !ok && id.kind == core.KindRecord {
+			d.Ops = append(d.Ops, Op{Kind: OpDelete, Key: id.k, RowID: id.r})
+		}
+	}
+	// Deterministic order: deletes first (frees identities), then
+	// upserts by key.
+	sort.Slice(d.Ops, func(i, j int) bool {
+		a, b := d.Ops[i], d.Ops[j]
+		if a.Kind != b.Kind {
+			return a.Kind == OpDelete
+		}
+		if a.Key != b.Key {
+			return a.Key < b.Key
+		}
+		return a.RowID < b.RowID
+	})
+	return d
+}
+
+// Apply integrates a delta into the publisher's copy and validates the
+// touched neighbourhood: every affected entry and its immediate
+// neighbours get their digest material recomputed and their signatures
+// checked against the owner's public key. On any failure the relation is
+// left unchanged (apply-then-validate runs on a scratch copy).
+func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta) error {
+	if d.Relation != sr.Schema.Name {
+		return fmt.Errorf("%w: delta for %q, relation %q", ErrRelationName, d.Relation, sr.Schema.Name)
+	}
+	scratch := sr.Clone()
+	touched := map[int]bool{}
+	markAround := func(i int) {
+		for _, j := range []int{i - 1, i, i + 1} {
+			if j >= 0 && j < len(scratch.Recs) {
+				touched[j] = true
+			}
+		}
+	}
+	for _, op := range d.Ops {
+		switch op.Kind {
+		case OpDelete:
+			pos := findEntry(scratch, op.Key, op.RowID, core.KindRecord)
+			if pos < 0 {
+				return fmt.Errorf("%w: delete of missing record (%d, %d)", ErrBadOp, op.Key, op.RowID)
+			}
+			scratch.Recs = append(scratch.Recs[:pos], scratch.Recs[pos+1:]...)
+			// Renumber: everything at/after pos shifted.
+			shifted := map[int]bool{}
+			for i := range touched {
+				if i > pos {
+					shifted[i-1] = true
+				} else {
+					shifted[i] = true
+				}
+			}
+			touched = shifted
+			markAround(pos - 1)
+			markAround(pos)
+		case OpUpsert:
+			if op.Rec.Kind == core.KindRecord &&
+				(op.Rec.Key() != op.Key || op.Rec.Tuple.RowID != op.RowID) {
+				return fmt.Errorf("%w: upsert identity mismatch", ErrBadOp)
+			}
+			pos := findEntry(scratch, op.Key, op.RowID, op.Rec.Kind)
+			if pos >= 0 {
+				scratch.Recs[pos] = op.Rec.Clone()
+				markAround(pos)
+				continue
+			}
+			if op.Rec.Kind != core.KindRecord {
+				return fmt.Errorf("%w: delimiter upsert for absent delimiter", ErrBadOp)
+			}
+			pos = insertPos(scratch, op.Key, op.RowID)
+			scratch.Recs = append(scratch.Recs, core.SignedRecord{})
+			copy(scratch.Recs[pos+1:], scratch.Recs[pos:])
+			scratch.Recs[pos] = op.Rec.Clone()
+			shifted := map[int]bool{}
+			for i := range touched {
+				if i >= pos {
+					shifted[i+1] = true
+				} else {
+					shifted[i] = true
+				}
+			}
+			touched = shifted
+			markAround(pos)
+		default:
+			return fmt.Errorf("%w: kind %d", ErrBadOp, op.Kind)
+		}
+	}
+	// Validate the touched neighbourhood.
+	for i := range touched {
+		if i < 0 || i >= len(scratch.Recs) {
+			continue
+		}
+		if err := scratch.CheckEntryDigests(h, i); err != nil {
+			return fmt.Errorf("%w: %v", ErrValidation, err)
+		}
+		if !scratch.VerifyEntrySig(h, pub, i) {
+			return fmt.Errorf("%w: entry %d signature", ErrValidation, i)
+		}
+	}
+	sr.Recs = scratch.Recs
+	return nil
+}
+
+// findEntry locates an entry by identity.
+func findEntry(sr *core.SignedRelation, key, rowID uint64, kind core.Kind) int {
+	for i, rec := range sr.Recs {
+		if rec.Kind == kind && rec.Key() == key && rec.Tuple.RowID == rowID {
+			return i
+		}
+	}
+	return -1
+}
+
+// insertPos returns the sorted insertion index for a data record.
+func insertPos(sr *core.SignedRelation, key, rowID uint64) int {
+	pos := 1
+	for ; pos < len(sr.Recs)-1; pos++ {
+		rec := sr.Recs[pos]
+		if rec.Key() > key || (rec.Key() == key && rec.Tuple.RowID > rowID) {
+			break
+		}
+	}
+	return pos
+}
+
+// Size returns the operation count — the sync-traffic metric (a snapshot
+// would be O(n) records; a k-record update is O(k) upserts plus their
+// neighbours).
+func (d Delta) Size() int { return len(d.Ops) }

@@ -1,0 +1,155 @@
+package engine
+
+import (
+	"fmt"
+
+	"vcqr/internal/core"
+)
+
+// JoinQuery is a primary-key/foreign-key join (Section 4.3): R.fk = S.pk
+// with an optional range restriction on the join attribute. R must be
+// signed with its foreign-key column as the sort key ("ordering R on Ai at
+// the owner's master database, and constructing signatures for this sort
+// order"), and S with its primary key.
+type JoinQuery struct {
+	R, S string
+	// KeyLo, KeyHi restrict the join-attribute range (inclusive);
+	// zero KeyHi means unbounded, as in Query.
+	KeyLo, KeyHi uint64
+	// RProject and SProject are the projections applied to each side.
+	RProject, SProject []string
+}
+
+// JoinResult bundles the R-side range result with one S-side point result
+// per distinct foreign-key value. Referential integrity guarantees every
+// R.fk instance has a matching S.pk, so completeness of the join reduces
+// to completeness of the R range plus authenticated point lookups on S.
+type JoinResult struct {
+	R *Result
+	// S maps each distinct foreign-key value appearing in R's result to
+	// the point-query result [v, v] on S.
+	S map[uint64]*Result
+}
+
+// JoinedRow is one verified join output row.
+type JoinedRow struct {
+	RRow Row
+	SRow Row
+}
+
+// ExecuteJoin answers a PK-FK join for a role.
+func (p *Publisher) ExecuteJoin(roleName string, q JoinQuery) (*JoinResult, error) {
+	rRes, err := p.Execute(roleName, Query{
+		Relation: q.R, KeyLo: q.KeyLo, KeyHi: q.KeyHi, Project: q.RProject,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("engine: join R side: %w", err)
+	}
+	out := &JoinResult{R: rRes, S: make(map[uint64]*Result)}
+	for _, row := range rRes.Rows() {
+		if _, done := out.S[row.Key]; done {
+			continue
+		}
+		sRes, err := p.Execute(roleName, Query{
+			Relation: q.S, KeyLo: row.Key, KeyHi: row.Key, Project: q.SProject,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("engine: join S side (pk %d): %w", row.Key, err)
+		}
+		out.S[row.Key] = sRes
+	}
+	return out, nil
+}
+
+// BandJoinQuery is the second join class of Section 4.3: R.Ai <= S.Aj.
+// Completeness is checked from two range results:
+//
+//   - the R partition contains every r with L < r.Ai <= max(S.Aj), and
+//   - the S partition contains every s with min(R.Ai) <= s.Aj < U.
+type BandJoinQuery struct {
+	R, S               string
+	RProject, SProject []string
+}
+
+// BandJoinResult is either the two partitions (join non-empty) or an
+// empty-join proof: a pivot v with proofs that S has no keys above v and R
+// none at or below v, which together imply no pair r <= s exists.
+type BandJoinResult struct {
+	// R covers [L+1, X] on R where X = max(S partition); nil when Empty.
+	R *Result
+	// S covers [Y, U-1] on S where Y = min(R partition); nil when Empty.
+	S *Result
+	// Empty signals an empty join, attested by REmpty and SEmpty.
+	Empty bool
+	// Pivot v: SEmpty proves S ∩ [v+1, U-1] = ∅, REmpty proves
+	// R ∩ [L+1, v] = ∅.
+	Pivot  uint64
+	REmpty *Result
+	SEmpty *Result
+}
+
+// ExecuteBandJoin answers R.key <= S.key for a role.
+func (p *Publisher) ExecuteBandJoin(roleName string, q BandJoinQuery) (*BandJoinResult, error) {
+	rRel, ok := p.rels[q.R]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.R)
+	}
+	sRel, ok := p.rels[q.S]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.S)
+	}
+	minR, okR := minKey(rRel)
+	maxS, okS := maxKey(sRel)
+	if !okR || !okS || minR > maxS {
+		// Empty join: pick the pivot proving separation. With an empty R,
+		// any pivot at the top of the domain works; with an empty S, any
+		// pivot at the bottom; otherwise maxS itself separates.
+		pivot := maxS
+		if !okS {
+			pivot = rRel.Params.L // S empty: [L+1, U-1] shows it; R side [L+1, L] is vacuous
+		}
+		if !okR && okS {
+			pivot = maxS
+		}
+		res := &BandJoinResult{Empty: true, Pivot: pivot}
+		var err error
+		if pivot+1 <= sRel.Params.U-1 {
+			res.SEmpty, err = p.Execute(roleName, Query{Relation: q.S, KeyLo: pivot + 1})
+			if err != nil {
+				return nil, fmt.Errorf("engine: band join S-empty proof: %w", err)
+			}
+		}
+		if pivot >= rRel.Params.L+1 {
+			res.REmpty, err = p.Execute(roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: pivot})
+			if err != nil {
+				return nil, fmt.Errorf("engine: band join R-empty proof: %w", err)
+			}
+		}
+		return res, nil
+	}
+	rRes, err := p.Execute(roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: maxS, Project: q.RProject})
+	if err != nil {
+		return nil, fmt.Errorf("engine: band join R partition: %w", err)
+	}
+	sRes, err := p.Execute(roleName, Query{Relation: q.S, KeyLo: minR, Project: q.SProject})
+	if err != nil {
+		return nil, fmt.Errorf("engine: band join S partition: %w", err)
+	}
+	return &BandJoinResult{R: rRes, S: sRes}, nil
+}
+
+// minKey returns the smallest data key of a signed relation.
+func minKey(sr *core.SignedRelation) (uint64, bool) {
+	if sr.Len() == 0 {
+		return 0, false
+	}
+	return sr.Recs[1].Key(), true
+}
+
+// maxKey returns the largest data key of a signed relation.
+func maxKey(sr *core.SignedRelation) (uint64, bool) {
+	if sr.Len() == 0 {
+		return 0, false
+	}
+	return sr.Recs[len(sr.Recs)-2].Key(), true
+}

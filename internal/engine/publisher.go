@@ -1,0 +1,272 @@
+package engine
+
+import (
+	"fmt"
+	"sort"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// Publisher hosts signed relations on behalf of the owner and answers
+// queries with verification objects. It is deliberately *able* to cheat —
+// see evil.go — because the system's guarantee is that cheating is
+// detected by the user, not prevented at the publisher.
+type Publisher struct {
+	h      *hashx.Hasher
+	pub    *sig.PublicKey
+	policy accessctl.Policy
+	rels   map[string]*core.SignedRelation
+
+	// Aggregate selects condensed signatures (Section 5.2, default) over
+	// one-signature-per-entry VOs.
+	Aggregate bool
+}
+
+// NewPublisher creates a publisher that verifies relations against the
+// owner's public key on ingest.
+func NewPublisher(h *hashx.Hasher, pub *sig.PublicKey, policy accessctl.Policy) *Publisher {
+	return &Publisher{
+		h:         h,
+		pub:       pub,
+		policy:    policy,
+		rels:      make(map[string]*core.SignedRelation),
+		Aggregate: true,
+	}
+}
+
+// AddRelation ingests a signed relation after validating every digest and
+// signature — the publisher protects itself from a corrupted owner feed.
+func (p *Publisher) AddRelation(sr *core.SignedRelation, validate bool) error {
+	if validate {
+		if err := sr.Validate(p.h, p.pub); err != nil {
+			return fmt.Errorf("engine: ingest validation: %w", err)
+		}
+	}
+	p.rels[sr.Schema.Name] = sr
+	return nil
+}
+
+// Relation returns a hosted relation by name.
+func (p *Publisher) Relation(name string) (*core.SignedRelation, bool) {
+	sr, ok := p.rels[name]
+	return sr, ok
+}
+
+// Execute runs a select-project query for a role and assembles the VO.
+// The query is first rewritten per the role's row and column policies
+// (Section 1's HR example); completeness is then proven for the
+// *rewritten* range, so nothing outside the user's rights is disclosed,
+// not even as boundary records.
+func (p *Publisher) Execute(roleName string, q Query) (*Result, error) {
+	sr, ok := p.rels[q.Relation]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.Relation)
+	}
+	role, err := p.policy.Role(roleName)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.validate(sr.Schema); err != nil {
+		return nil, err
+	}
+	eff, err := rewrite(sr, role, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.executeRewritten(sr, role, eff)
+}
+
+// rewrite normalizes and clamps the query to the role's rights.
+func rewrite(sr *core.SignedRelation, role accessctl.Role, q Query) (Query, error) {
+	lo, hi := q.KeyLo, q.KeyHi
+	if lo <= sr.Params.L {
+		lo = sr.Params.L + 1
+	}
+	if hi == 0 || hi >= sr.Params.U {
+		hi = sr.Params.U - 1
+	}
+	if lo > hi {
+		return Query{}, fmt.Errorf("engine: empty key range [%d, %d]", lo, hi)
+	}
+	lo, hi, ok := role.ClampRange(lo, hi)
+	if !ok {
+		return Query{}, ErrEmptyRewrite
+	}
+	eff := q
+	eff.KeyLo, eff.KeyHi = lo, hi
+	eff.Project = role.FilterCols(sr.Schema, q.Project)
+	return eff, nil
+}
+
+// executeRewritten builds the result for an already-rewritten query.
+func (p *Publisher) executeRewritten(sr *core.SignedRelation, role accessctl.Role, eff Query) (*Result, error) {
+	a, b := sr.RangeIndices(eff.KeyLo, eff.KeyHi)
+	vo := RangeVO{KeyLo: eff.KeyLo, KeyHi: eff.KeyHi}
+
+	var err error
+	vo.Left, err = sr.ProveBoundary(p.h, a-1, core.Up, eff.KeyLo)
+	if err != nil {
+		return nil, fmt.Errorf("engine: left boundary: %w", err)
+	}
+	vo.Right, err = sr.ProveBoundary(p.h, b, core.Down, eff.KeyHi)
+	if err != nil {
+		return nil, fmt.Errorf("engine: right boundary: %w", err)
+	}
+
+	seen := map[string]bool{}
+	var sigs []sig.Signature
+	for i := a; i < b; i++ {
+		rec := sr.Recs[i]
+		entry, err := p.buildEntry(sr, role, eff, rec, i, seen)
+		if err != nil {
+			return nil, err
+		}
+		vo.Entries = append(vo.Entries, entry)
+		sigs = append(sigs, sig.Signature(rec.Sig))
+	}
+
+	if b == a {
+		// Empty range: ship sig(pred) and g(pred-1) so the user can check
+		// the predecessor and successor are adjacent (Section 3.2 Case 2
+		// analysis, generalized to ranges).
+		sigs = []sig.Signature{sig.Signature(sr.Recs[a-1].Sig)}
+		if a-1 > 0 {
+			vo.PredPrevG = sr.Recs[a-2].G.Clone()
+		}
+	}
+	if p.Aggregate {
+		agg, err := p.pub.Aggregate(sigs)
+		if err != nil {
+			return nil, fmt.Errorf("engine: aggregation: %w", err)
+		}
+		vo.AggSig = agg
+	} else {
+		vo.IndividualSigs = sigs
+	}
+	return &Result{Relation: eff.Relation, Effective: eff, VO: vo}, nil
+}
+
+// buildEntry classifies one covered record and assembles its VO entry.
+func (p *Publisher) buildEntry(sr *core.SignedRelation, role accessctl.Role, eff Query, rec core.SignedRecord, idx int, seen map[string]bool) (VOEntry, error) {
+	schema := sr.Schema
+	t := rec.Tuple
+
+	if !role.RecordVisible(schema, t) {
+		// Section 4.4 Case 2: open only the visibility-column leaf.
+		visCol := schema.ColIndex(role.VisibilityCol)
+		if visCol < 0 {
+			return VOEntry{}, fmt.Errorf("engine: role %q visibility column %q missing in %q", role.Name, role.VisibilityCol, schema.Name)
+		}
+		disclosed, hidden := disclose(p.h, t, []int{visCol})
+		return VOEntry{
+			Mode:         EntryFilteredHidden,
+			Disclosed:    disclosed,
+			HiddenLeaves: hidden,
+			UpCombined:   rec.UpCombined.Clone(),
+			DownCombined: rec.DownCombined.Clone(),
+		}, nil
+	}
+
+	if !eff.passes(schema, t) {
+		// Section 4.4 Case 1: disclose the filter columns so the user can
+		// confirm the record fails the condition; everything else travels
+		// as digests.
+		cols := filterCols(schema, eff.Filters)
+		disclosed, hidden := disclose(p.h, t, cols)
+		return VOEntry{
+			Mode:         EntryFilteredVisible,
+			Key:          t.Key,
+			Disclosed:    disclosed,
+			HiddenLeaves: hidden,
+			Chain:        sr.EntryInfo(idx),
+		}, nil
+	}
+
+	cols := projectCols(schema, eff.Project)
+	disclosed, hidden := disclose(p.h, t, cols)
+	if eff.Distinct {
+		k := dupKey(t.Key, disclosed)
+		if seen[k] {
+			// Section 4.2: present g and sig for each eliminated
+			// duplicate so the chain remains checkable.
+			return VOEntry{Mode: EntryElidedDup, G: rec.G.Clone()}, nil
+		}
+		seen[k] = true
+	}
+	return VOEntry{
+		Mode:         EntryResult,
+		Key:          t.Key,
+		Disclosed:    disclosed,
+		HiddenLeaves: hidden,
+		Chain:        sr.EntryInfo(idx),
+	}, nil
+}
+
+// filterCols returns the sorted distinct column indexes used by filters.
+func filterCols(schema relation.Schema, filters []Filter) []int {
+	set := map[int]bool{}
+	for _, f := range filters {
+		set[schema.ColIndex(f.Col)] = true
+	}
+	out := make([]int, 0, len(set))
+	for c := range set {
+		out = append(out, c)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// projectCols resolves a projection list (nil = all columns).
+func projectCols(schema relation.Schema, project []string) []int {
+	if project == nil {
+		out := make([]int, len(schema.Cols))
+		for i := range out {
+			out[i] = i
+		}
+		return out
+	}
+	out := make([]int, 0, len(project))
+	for _, name := range project {
+		if i := schema.ColIndex(name); i >= 0 {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// disclose splits a tuple's attribute-tree leaves into opened values (the
+// given column indexes) and hidden digests (everything else, including the
+// row-id leaf 0).
+func disclose(h *hashx.Hasher, t relation.Tuple, cols []int) ([]DisclosedAttr, []hashx.Digest) {
+	leaves := core.AttrLeaves(h, t)
+	opened := map[int]bool{}
+	disclosed := make([]DisclosedAttr, 0, len(cols))
+	for _, c := range cols {
+		if opened[c+1] {
+			continue
+		}
+		opened[c+1] = true
+		disclosed = append(disclosed, DisclosedAttr{Col: c, Val: t.Attrs[c]})
+	}
+	hidden := make([]hashx.Digest, 0, len(leaves)-len(opened))
+	for i, l := range leaves {
+		if !opened[i] {
+			hidden = append(hidden, l)
+		}
+	}
+	return disclosed, hidden
+}
+
+// dupKey builds the duplicate-detection key over the projected values.
+func dupKey(key uint64, disclosed []DisclosedAttr) string {
+	out := string(hashx.U64(key))
+	for _, d := range disclosed {
+		out += string(hashx.U64(uint64(d.Col))) + string(d.Val.Encode())
+	}
+	return out
+}

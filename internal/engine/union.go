@@ -1,0 +1,90 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+)
+
+// KeyRange is one inclusive key interval of a union query.
+type KeyRange struct {
+	Lo, Hi uint64
+}
+
+// UnionQuery is a disjunction of key ranges with shared filters and
+// projection. Section 4.1 reduces every selection operator to ranges;
+// the one case needing more than a single range is K != a, which maps to
+// (L, a-1] ∪ [a+1, U). Each member range gets its own verification
+// object; the verifier checks all of them and that the ranges match the
+// expected decomposition.
+type UnionQuery struct {
+	Relation string
+	Ranges   []KeyRange
+	Filters  []Filter
+	Project  []string
+	Distinct bool
+}
+
+// NotEqual builds the union query for the predicate K != key over the
+// open domain (l, u): the Section 4.1 mapping.
+func NotEqual(rel string, key, l, u uint64) (UnionQuery, error) {
+	if key <= l || key >= u {
+		return UnionQuery{}, fmt.Errorf("engine: K != %d is vacuous outside (%d, %d)", key, l, u)
+	}
+	uq := UnionQuery{Relation: rel}
+	if key-1 >= l+1 {
+		uq.Ranges = append(uq.Ranges, KeyRange{Lo: l + 1, Hi: key - 1})
+	}
+	if key+1 <= u-1 {
+		uq.Ranges = append(uq.Ranges, KeyRange{Lo: key + 1, Hi: u - 1})
+	}
+	return uq, nil
+}
+
+// memberQuery projects one range of a union onto a plain Query.
+func (uq UnionQuery) memberQuery(r KeyRange) Query {
+	return Query{
+		Relation: uq.Relation,
+		KeyLo:    r.Lo,
+		KeyHi:    r.Hi,
+		Filters:  uq.Filters,
+		Project:  uq.Project,
+		Distinct: uq.Distinct,
+	}
+}
+
+// UnionResult carries one Result per member range, aligned with the
+// query's Ranges. A member whose rewrite empties (entirely outside the
+// caller's rights) is nil; the verifier re-derives which members are
+// allowed to be nil from its own policy knowledge.
+type UnionResult struct {
+	Members []*Result
+}
+
+// ExecuteUnion answers a union query: one VO per member range. Ranges
+// must be non-overlapping and ascending so the result rows concatenate
+// into key order and no tuple can be double-counted.
+func (p *Publisher) ExecuteUnion(roleName string, uq UnionQuery) (*UnionResult, error) {
+	if len(uq.Ranges) == 0 {
+		return nil, fmt.Errorf("engine: union query needs at least one range")
+	}
+	for i, r := range uq.Ranges {
+		if r.Lo > r.Hi {
+			return nil, fmt.Errorf("engine: union range %d inverted [%d, %d]", i, r.Lo, r.Hi)
+		}
+		if i > 0 && r.Lo <= uq.Ranges[i-1].Hi {
+			return nil, fmt.Errorf("engine: union ranges %d and %d overlap or are unsorted", i-1, i)
+		}
+	}
+	out := &UnionResult{Members: make([]*Result, len(uq.Ranges))}
+	for i, r := range uq.Ranges {
+		res, err := p.Execute(roleName, uq.memberQuery(r))
+		if errors.Is(err, ErrEmptyRewrite) {
+			continue // range entirely outside the caller's rights
+		}
+		if err != nil {
+			return nil, fmt.Errorf("engine: union member %d: %w", i, err)
+		}
+		out.Members[i] = res
+	}
+	return out, nil
+}

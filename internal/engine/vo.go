@@ -1,0 +1,193 @@
+package engine
+
+import (
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// EntryMode classifies the entries of a range VO. Every record of the
+// signed relation whose key falls in the effective range appears exactly
+// once, in key order, in one of these modes — the contiguity that the
+// signature chain then certifies.
+type EntryMode byte
+
+// Entry modes.
+const (
+	// EntryResult is a qualifying tuple: key plus projected values.
+	EntryResult EntryMode = iota
+	// EntryFilteredVisible is Section 4.4 Case 1: a tuple inside the key
+	// range that fails a non-key filter; the user may see it, so the
+	// failing attribute values are disclosed and the rest digested.
+	EntryFilteredVisible
+	// EntryFilteredHidden is Section 4.4 Case 2: a tuple the access
+	// policy hides. Only the visibility-column leaf is opened; the key
+	// and chain digests stay opaque.
+	EntryFilteredHidden
+	// EntryElidedDup is a Section 4.2 DISTINCT duplicate: only g(r) is
+	// shipped so the signature chain remains checkable.
+	EntryElidedDup
+)
+
+// String implements fmt.Stringer.
+func (m EntryMode) String() string {
+	switch m {
+	case EntryResult:
+		return "result"
+	case EntryFilteredVisible:
+		return "filtered-visible"
+	case EntryFilteredHidden:
+		return "filtered-hidden"
+	case EntryElidedDup:
+		return "elided-dup"
+	}
+	return "?"
+}
+
+// DisclosedAttr is one opened attribute value: the column index into the
+// schema's non-key columns and the value.
+type DisclosedAttr struct {
+	Col int
+	Val relation.Value
+}
+
+// VOEntry is one covered record of the effective key range.
+type VOEntry struct {
+	Mode EntryMode
+
+	// Key is meaningful for EntryResult and EntryFilteredVisible.
+	Key uint64
+	// Disclosed holds opened attribute values (projection for results,
+	// failing filter columns for Case 1, the visibility column for Case
+	// 2), sorted by Col.
+	Disclosed []DisclosedAttr
+	// HiddenLeaves carries digests of the undisclosed leaves of
+	// MHT(r.A), in ascending leaf-index order (leaf 0 is the row id).
+	HiddenLeaves []hashx.Digest
+	// Chain holds the representation-tree roots for modes where the user
+	// knows the key and recomputes the chain digests.
+	Chain core.EntryChainInfo
+	// UpCombined/DownCombined are the opaque chain digests for
+	// EntryFilteredHidden.
+	UpCombined, DownCombined hashx.Digest
+	// G is the raw record digest for EntryElidedDup.
+	G hashx.Digest
+}
+
+// RangeVO is the verification object for a (possibly multipoint) range
+// query: boundary proofs at both ends, one entry per covered record, and
+// the signatures binding them together.
+type RangeVO struct {
+	// KeyLo, KeyHi is the effective (post-rewrite) inclusive range the
+	// boundary proofs are relative to.
+	KeyLo, KeyHi uint64
+	// Left proves the record preceding the range has key < KeyLo; Right
+	// proves the record following it has key > KeyHi.
+	Left, Right core.BoundaryProof
+	// Entries covers every record in the range, in key order.
+	Entries []VOEntry
+	// AggSig is the condensed signature over the covered entries'
+	// signatures (Section 5.2), or over the single predecessor signature
+	// when the range is empty. Nil when IndividualSigs is used instead.
+	AggSig sig.Signature
+	// IndividualSigs carries one signature per covered entry when
+	// aggregation is disabled (the pre-Section-5.2 mode, kept for the
+	// aggregation ablation). For an empty range it holds the single
+	// predecessor signature.
+	IndividualSigs []sig.Signature
+	// PredPrevG is g of the entry preceding the predecessor, needed to
+	// check sig(pred) when the range is empty. Nil means the predecessor
+	// is the left delimiter and the verifier substitutes the virtual end
+	// digest.
+	PredPrevG hashx.Digest
+}
+
+// Result is what the publisher returns: the relation name, the effective
+// query after access-control rewriting, and the VO (which carries the
+// result values themselves inside its EntryResult entries).
+type Result struct {
+	Relation string
+	// Effective is the rewritten query actually executed.
+	Effective Query
+	VO        RangeVO
+}
+
+// Row is one verified result row: the key and the projected values.
+type Row struct {
+	Key    uint64
+	Values []DisclosedAttr
+}
+
+// Rows extracts the claimed result rows (EntryResult entries) without
+// verification; callers that need trust must go through verify.Verifier.
+func (r *Result) Rows() []Row {
+	var rows []Row
+	for _, e := range r.VO.Entries {
+		if e.Mode == EntryResult {
+			rows = append(rows, Row{Key: e.Key, Values: e.Disclosed})
+		}
+	}
+	return rows
+}
+
+// --- Traffic accounting (Figure 9 / formula (4)) ---
+
+// SizeAccounting reports the byte size of a VO's authentication
+// information: digest bytes plus signature bytes. Disclosed values are
+// result payload, not overhead, and are excluded — matching the paper's
+// Muser, which counts digests and the aggregated signature only.
+type SizeAccounting struct {
+	Digests    int // number of digests shipped
+	Signatures int // number of signatures shipped
+	DigestSize int // Mdigest in bytes
+	SigSize    int // Msign in bytes
+}
+
+// Bytes returns the total authentication traffic.
+func (s SizeAccounting) Bytes() int {
+	return s.Digests*s.DigestSize + s.Signatures*s.SigSize
+}
+
+// Account tallies the digests and signatures in the VO.
+func (vo *RangeVO) Account(digestSize, sigSize int) SizeAccounting {
+	acc := SizeAccounting{DigestSize: digestSize, SigSize: sigSize}
+	acc.Digests += vo.Left.Size() + vo.Right.Size()
+	for _, e := range vo.Entries {
+		switch e.Mode {
+		case EntryResult, EntryFilteredVisible:
+			acc.Digests += 2 // chain rep-tree roots
+			acc.Digests += len(e.HiddenLeaves)
+		case EntryFilteredHidden:
+			acc.Digests += 2 // opaque combined chain digests
+			acc.Digests += len(e.HiddenLeaves)
+		case EntryElidedDup:
+			acc.Digests++
+		}
+	}
+	if vo.PredPrevG != nil {
+		acc.Digests++
+	}
+	if vo.AggSig != nil {
+		acc.Signatures++
+	}
+	acc.Signatures += len(vo.IndividualSigs)
+	return acc
+}
+
+// ResultBytes returns the payload size of the result rows (|Q| * Mr in
+// the paper's notation): keys plus disclosed values of EntryResult
+// entries.
+func (r *Result) ResultBytes() int {
+	n := 0
+	for _, e := range r.VO.Entries {
+		if e.Mode != EntryResult {
+			continue
+		}
+		n += 8
+		for _, d := range e.Disclosed {
+			n += d.Val.Size()
+		}
+	}
+	return n
+}

@@ -1,0 +1,201 @@
+package hashx
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewSizeClamps(t *testing.T) {
+	cases := []struct{ in, want int }{
+		{0, 8}, {7, 8}, {8, 8}, {16, 16}, {32, 32}, {33, 32}, {100, 32},
+	}
+	for _, c := range cases {
+		if got := NewSize(c.in).Size(); got != c.want {
+			t.Errorf("NewSize(%d).Size() = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestDefaultSize(t *testing.T) {
+	h := New()
+	if h.Size() != DefaultSize {
+		t.Fatalf("default size = %d, want %d", h.Size(), DefaultSize)
+	}
+	if len(h.Hash([]byte("x"))) != DefaultSize {
+		t.Fatalf("digest length != %d", DefaultSize)
+	}
+}
+
+func TestDigestEqualAndClone(t *testing.T) {
+	h := New()
+	a := h.Hash([]byte("a"))
+	b := h.Hash([]byte("a"))
+	c := h.Hash([]byte("b"))
+	if !a.Equal(b) {
+		t.Error("identical inputs must produce equal digests")
+	}
+	if a.Equal(c) {
+		t.Error("different inputs must not produce equal digests")
+	}
+	if a.Equal(a[:8]) {
+		t.Error("length mismatch must compare unequal")
+	}
+	cl := a.Clone()
+	if !cl.Equal(a) {
+		t.Error("clone must equal original")
+	}
+	cl[0] ^= 0xff
+	if cl.Equal(a) {
+		t.Error("mutating clone must not affect original")
+	}
+}
+
+func TestDomainSeparation(t *testing.T) {
+	h := New()
+	m := []byte("same input")
+	digests := []Digest{
+		h.Hash(m), h.Leaf(m), h.First(m), h.GDigest(m),
+	}
+	for i := range digests {
+		for j := i + 1; j < len(digests); j++ {
+			if digests[i].Equal(digests[j]) {
+				t.Errorf("tagged digests %d and %d collide", i, j)
+			}
+		}
+	}
+}
+
+func TestNodeOrderMatters(t *testing.T) {
+	h := New()
+	a, b := h.Leaf([]byte("a")), h.Leaf([]byte("b"))
+	if h.Node(a, b).Equal(h.Node(b, a)) {
+		t.Error("Node must not be commutative")
+	}
+}
+
+func TestIterateComposition(t *testing.T) {
+	// h^{a+b}(m) == IterateFrom(h^a(m), b): the composition property the
+	// user relies on when extending the publisher's intermediate digest.
+	h := New()
+	f := func(seed uint32, a8, b8 uint8) bool {
+		m := U64(uint64(seed))
+		a, b := uint64(a8%50), uint64(b8%50)
+		full := h.Iterate(m, a+b)
+		split := h.IterateFrom(h.Iterate(m, a), b)
+		return full.Equal(split)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestIterateZero(t *testing.T) {
+	h := New()
+	m := []byte("m")
+	if !h.Iterate(m, 0).Equal(h.First(m)) {
+		t.Error("h^0 must equal First")
+	}
+}
+
+func TestIterateDistinctSteps(t *testing.T) {
+	// Successive chain values must all differ (no short cycles in practice).
+	h := New()
+	m := []byte("chain")
+	seen := map[string]bool{}
+	d := h.First(m)
+	for i := 0; i < 1000; i++ {
+		k := string(d)
+		if seen[k] {
+			t.Fatalf("chain cycled at step %d", i)
+		}
+		seen[k] = true
+		d = h.Next(d)
+	}
+}
+
+func TestOpsCounting(t *testing.T) {
+	h := New()
+	h.ResetOps()
+	h.Iterate([]byte("m"), 9) // First + 9 Next = 10 ops
+	if got := h.Ops(); got != 10 {
+		t.Errorf("Ops() = %d, want 10", got)
+	}
+	h.ResetOps()
+	if h.Ops() != 0 {
+		t.Error("ResetOps must zero the counter")
+	}
+}
+
+func TestSigDigestBindsAllThree(t *testing.T) {
+	h := New()
+	g1, g2, g3 := h.Hash([]byte("1")), h.Hash([]byte("2")), h.Hash([]byte("3"))
+	base := h.SigDigest(g1, g2, g3)
+	if base.Equal(h.SigDigest(g3, g2, g1)) {
+		t.Error("SigDigest must depend on order")
+	}
+	if base.Equal(h.SigDigest(g1, g1, g3)) {
+		t.Error("SigDigest must depend on middle digest")
+	}
+}
+
+func TestU64Encoding(t *testing.T) {
+	if !bytes.Equal(U64(1), []byte{0, 0, 0, 0, 0, 0, 0, 1}) {
+		t.Error("U64 must be big-endian")
+	}
+	if len(U64Pair(1, 2)) != 16 {
+		t.Error("U64Pair must be 16 bytes")
+	}
+	if bytes.Equal(U64Pair(1, 2), U64Pair(2, 1)) {
+		t.Error("U64Pair must distinguish order")
+	}
+}
+
+func TestDifferentSizesDiffer(t *testing.T) {
+	h16, h32 := NewSize(16), NewSize(32)
+	m := []byte("m")
+	a, b := h16.Hash(m), h32.Hash(m)
+	if len(a) == len(b) {
+		t.Fatal("sizes should differ")
+	}
+	if !a.Equal(Digest(b[:16])) {
+		t.Error("truncation should be a prefix of the wider digest")
+	}
+}
+
+func TestConcurrentHashing(t *testing.T) {
+	// The hasher is shared across publisher goroutines; digests must be
+	// deterministic and the ops counter race-free.
+	h := New()
+	const goroutines, per = 8, 200
+	want := h.Hash([]byte("probe"))
+	done := make(chan bool, goroutines)
+	for g := 0; g < goroutines; g++ {
+		go func() {
+			ok := true
+			for i := 0; i < per; i++ {
+				if !h.Hash([]byte("probe")).Equal(want) {
+					ok = false
+				}
+			}
+			done <- ok
+		}()
+	}
+	for g := 0; g < goroutines; g++ {
+		if !<-done {
+			t.Fatal("concurrent hashing produced a different digest")
+		}
+	}
+	if h.Ops() < goroutines*per {
+		t.Fatalf("ops counter lost updates: %d", h.Ops())
+	}
+}
+
+func BenchmarkHashOp(b *testing.B) {
+	h := New()
+	m := U64Pair(12345, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.First(m)
+	}
+}

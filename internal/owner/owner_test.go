@@ -1,0 +1,180 @@
+package owner_test
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+	"vcqr/internal/verify"
+	"vcqr/internal/workload"
+)
+
+var (
+	keyOnce  sync.Once
+	ownerKey *sig.PrivateKey
+)
+
+func signKey(t testing.TB) *sig.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := sig.Generate(sig.DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		ownerKey = k
+	})
+	return ownerKey
+}
+
+func newOwner(t testing.TB) (*hashx.Hasher, *owner.Owner) {
+	h := hashx.New()
+	return h, owner.NewWithKey(h, signKey(t))
+}
+
+func empRel(t testing.TB, n int) *relation.Relation {
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: n, L: 0, U: 1 << 20, PhotoSize: 8, Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rel
+}
+
+func TestPublishAndLookup(t *testing.T) {
+	h, o := newOwner(t)
+	sr, err := o.Publish(empRel(t, 10), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sr.Validate(h, o.PublicKey()); err != nil {
+		t.Fatalf("published relation invalid: %v", err)
+	}
+	got, err := o.Relation("Emp")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != sr {
+		t.Fatal("Relation returned a different snapshot")
+	}
+	if _, err := o.Relation("Nope"); !errors.Is(err, owner.ErrUnknownRelation) {
+		t.Fatalf("unknown relation: %v", err)
+	}
+}
+
+func TestPublishRejectsBadBase(t *testing.T) {
+	_, o := newOwner(t)
+	if _, err := o.Publish(empRel(t, 5), 1); err == nil {
+		t.Fatal("base 1 accepted")
+	}
+}
+
+func TestIncrementalOpsKeepRelationsValid(t *testing.T) {
+	h, o := newOwner(t)
+	sr, err := o.Publish(empRel(t, 15), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	attrs := sr.Recs[1].Tuple.Attrs
+
+	n, err := o.Insert("Emp", relation.Tuple{Key: 777, Attrs: attrs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("insert re-signed %d, want 3", n)
+	}
+	n, err = o.UpdateAttrs("Emp", 777, 0, attrs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 3 {
+		t.Fatalf("update re-signed %d, want 3", n)
+	}
+	n, err = o.Delete("Emp", 777, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("delete re-signed %d, want 2", n)
+	}
+	if err := sr.Validate(h, o.PublicKey()); err != nil {
+		t.Fatalf("relation invalid after update cycle: %v", err)
+	}
+	// Ops on unknown relations fail cleanly.
+	if _, err := o.Insert("Nope", relation.Tuple{}); err == nil {
+		t.Fatal("insert into unknown relation succeeded")
+	}
+	if _, err := o.Delete("Nope", 1, 0); err == nil {
+		t.Fatal("delete from unknown relation succeeded")
+	}
+	if _, err := o.UpdateAttrs("Nope", 1, 0, nil); err == nil {
+		t.Fatal("update of unknown relation succeeded")
+	}
+}
+
+func TestSignOpsCounting(t *testing.T) {
+	_, o := newOwner(t)
+	before := o.SignOps()
+	if _, err := o.Publish(empRel(t, 5), 2); err != nil {
+		t.Fatal(err)
+	}
+	// 5 records + 2 delimiters.
+	if got := o.SignOps() - before; got != 7 {
+		t.Fatalf("publish signed %d times, want 7", got)
+	}
+}
+
+// TestUpdatedRelationServesVerifiableQueries is the full loop: publish,
+// mutate, query, verify.
+func TestUpdatedRelationServesVerifiableQueries(t *testing.T) {
+	h, o := newOwner(t)
+	sr, err := o.Publish(empRel(t, 20), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := o.Insert("Emp", relation.Tuple{Key: 12345, Attrs: sr.Recs[1].Tuple.Attrs}); err != nil {
+		t.Fatal(err)
+	}
+	role := accessctl.Role{Name: "all"}
+	pub := engine.NewPublisher(h, o.PublicKey(), accessctl.NewPolicy(role))
+	if err := pub.AddRelation(sr, true); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Relation: "Emp", KeyLo: 12000, KeyHi: 13000}
+	res, err := pub.Execute("all", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := verify.New(h, o.PublicKey(), sr.Params, sr.Schema).VerifyResult(q, role, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, r := range rows {
+		if r.Key == 12345 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("inserted record not in verified result")
+	}
+}
+
+func TestNewGeneratesKey(t *testing.T) {
+	h := hashx.New()
+	o, err := owner.New(h, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.PublicKey().N.BitLen() != sig.DefaultBits {
+		t.Fatalf("key size %d", o.PublicKey().N.BitLen())
+	}
+	_ = core.DefaultBase
+}

@@ -1,0 +1,67 @@
+package relation
+
+import "math"
+
+// Order-preserving encoders mapping application key types into the uint64
+// sort-key domain the scheme operates over. The paper treats K as an
+// integer drawn from (L, U); real schemas sort on signed integers,
+// floats, timestamps or strings. Each encoder here preserves order
+// (a < b implies Enc(a) < Enc(b), with the documented caveats), so range
+// predicates translate directly to encoded-key ranges.
+
+// KeyFromInt maps a signed 64-bit integer order-preservingly onto uint64
+// by flipping the sign bit: math.MinInt64 -> 0, -1 -> 2^63-1, 0 -> 2^63,
+// math.MaxInt64 -> 2^64-1.
+func KeyFromInt(v int64) uint64 {
+	return uint64(v) ^ (1 << 63)
+}
+
+// IntFromKey inverts KeyFromInt.
+func IntFromKey(k uint64) int64 {
+	return int64(k ^ (1 << 63))
+}
+
+// KeyFromFloat maps a float64 order-preservingly onto uint64 using the
+// IEEE-754 total-order trick: positive floats get the sign bit set,
+// negative floats are bitwise inverted. NaNs are not ordered; callers
+// must reject them beforehand (the function maps them above +Inf).
+// -0.0 and +0.0 map to adjacent but distinct keys, preserving <=.
+func KeyFromFloat(f float64) uint64 {
+	b := math.Float64bits(f)
+	if b&(1<<63) != 0 {
+		return ^b // negative: invert all bits
+	}
+	return b | (1 << 63) // positive: set the sign bit
+}
+
+// FloatFromKey inverts KeyFromFloat.
+func FloatFromKey(k uint64) float64 {
+	if k&(1<<63) != 0 {
+		return math.Float64frombits(k &^ (1 << 63))
+	}
+	return math.Float64frombits(^k)
+}
+
+// KeyFromString maps a string onto uint64 by its first 8 bytes
+// (big-endian, zero-padded). Order is preserved for strings that differ
+// within their first 8 bytes; longer shared prefixes collapse to the same
+// key and are then disambiguated by the scheme's replica numbers, which
+// keeps completeness intact (a range query returns every string whose
+// 8-byte prefix falls in the range — a superset the client filters).
+// The inverse is lossy beyond 8 bytes by construction.
+func KeyFromString(s string) uint64 {
+	var k uint64
+	for i := 0; i < 8; i++ {
+		k <<= 8
+		if i < len(s) {
+			k |= uint64(s[i])
+		}
+	}
+	return k
+}
+
+// KeyFromTime maps a Unix-nanosecond timestamp (int64) onto uint64,
+// order-preservingly, covering dates before 1970.
+func KeyFromTime(unixNano int64) uint64 {
+	return KeyFromInt(unixNano)
+}

@@ -1,0 +1,102 @@
+package relation
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestKeyFromIntOrderPreserving(t *testing.T) {
+	f := func(a, b int64) bool {
+		ka, kb := KeyFromInt(a), KeyFromInt(b)
+		switch {
+		case a < b:
+			return ka < kb
+		case a > b:
+			return ka > kb
+		default:
+			return ka == kb
+		}
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFromIntEndpoints(t *testing.T) {
+	if KeyFromInt(math.MinInt64) != 0 {
+		t.Error("MinInt64 must map to 0")
+	}
+	if KeyFromInt(math.MaxInt64) != ^uint64(0) {
+		t.Error("MaxInt64 must map to max uint64")
+	}
+	if KeyFromInt(0) != 1<<63 {
+		t.Error("0 must map to 2^63")
+	}
+}
+
+func TestKeyFromIntRoundTrip(t *testing.T) {
+	f := func(a int64) bool { return IntFromKey(KeyFromInt(a)) == a }
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFromFloatOrderPreserving(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	vals := []float64{
+		math.Inf(-1), -math.MaxFloat64, -1e10, -1.5, -math.SmallestNonzeroFloat64,
+		math.Copysign(0, -1), 0, math.SmallestNonzeroFloat64, 1.5, 1e10,
+		math.MaxFloat64, math.Inf(1),
+	}
+	for i := 0; i < 500; i++ {
+		vals = append(vals, (rng.Float64()-0.5)*math.Pow(10, float64(rng.Intn(60)-30)))
+	}
+	for i := range vals {
+		for j := range vals {
+			ka, kb := KeyFromFloat(vals[i]), KeyFromFloat(vals[j])
+			if vals[i] < vals[j] && ka >= kb {
+				t.Fatalf("order violated: %g vs %g", vals[i], vals[j])
+			}
+			if vals[i] > vals[j] && ka <= kb {
+				t.Fatalf("order violated: %g vs %g", vals[i], vals[j])
+			}
+		}
+	}
+}
+
+func TestKeyFromFloatRoundTrip(t *testing.T) {
+	f := func(x float64) bool {
+		if math.IsNaN(x) {
+			return true
+		}
+		return FloatFromKey(KeyFromFloat(x)) == x ||
+			(x == 0 && FloatFromKey(KeyFromFloat(x)) == 0) // -0/+0 keep sign via bits, both fine
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestKeyFromStringOrder(t *testing.T) {
+	cases := [][2]string{
+		{"", "a"}, {"a", "b"}, {"a", "aa"}, {"abc", "abd"},
+		{"ACME", "GLOBEX"}, {"zz", "zza"},
+	}
+	for _, c := range cases {
+		if KeyFromString(c[0]) >= KeyFromString(c[1]) {
+			t.Errorf("order violated: %q vs %q", c[0], c[1])
+		}
+	}
+	// Shared 8-byte prefixes collapse (documented).
+	if KeyFromString("12345678abc") != KeyFromString("12345678xyz") {
+		t.Error("shared long prefixes should collapse to the same key")
+	}
+}
+
+func TestKeyFromTimeOrder(t *testing.T) {
+	if KeyFromTime(-1) >= KeyFromTime(0) || KeyFromTime(0) >= KeyFromTime(1) {
+		t.Error("timestamp order violated around the epoch")
+	}
+}

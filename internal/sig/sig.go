@@ -1,0 +1,238 @@
+// Package sig provides the digital-signature substrate for the scheme:
+// an RSA full-domain-hash (FDH) signer for the per-record signatures of
+// formula (1), and condensed-RSA signature aggregation for the Section 5.2
+// optimization.
+//
+// The paper proposes aggregating the per-record signatures of a query
+// result into one value using either BGLS bilinear aggregation [8] or the
+// single-signer condensed-RSA construction of Mykletun et al. [18]. The Go
+// standard library has no pairing-friendly curves, so this package
+// implements condensed-RSA, which matches the data-publishing setting
+// exactly (one signer: the data owner):
+//
+//	sigma_i   = FDH(m_i)^d mod N
+//	sigma_agg = prod_i sigma_i mod N
+//	verify:     sigma_agg^e == prod_i FDH(m_i)  (mod N)
+//
+// This preserves the properties the paper uses: the aggregate is the size
+// of one signature (Msign), and the user performs a single public-key
+// operation per query result.
+//
+// Immutability caveat (Section 5.2): naive multiplicative aggregates are
+// mutable — anyone can multiply two aggregates. Deployments should bind the
+// aggregate to the query/result as described in [18]; the library exposes
+// the primitive and documents the caveat, and the verifier recomputes the
+// expected digest set itself so a mixed-and-matched aggregate never
+// verifies against a *specific* query's digests unless it is exactly their
+// product.
+package sig
+
+import (
+	"crypto/rand"
+	"crypto/rsa"
+	"crypto/sha256"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math/big"
+	"sync/atomic"
+
+	"vcqr/internal/hashx"
+)
+
+// DefaultBits is the default RSA modulus size: 1024 bits, matching the
+// paper's Msign = 1024 so that VO byte counts reproduce formula (4).
+// (Production deployments should use >= 3072; the experiments keep the
+// paper's parameter for comparability.)
+const DefaultBits = 1024
+
+var (
+	// ErrEmptyAggregate reports aggregation over zero signatures.
+	ErrEmptyAggregate = errors.New("sig: cannot aggregate zero signatures")
+	// ErrBadSignature reports a malformed signature encoding.
+	ErrBadSignature = errors.New("sig: malformed signature")
+)
+
+// Signature is a big-endian encoding of the RSA signature value, always
+// exactly the modulus length (Msign/8 bytes).
+type Signature []byte
+
+// Clone returns an independent copy.
+func (s Signature) Clone() Signature {
+	out := make(Signature, len(s))
+	copy(out, s)
+	return out
+}
+
+// Equal reports byte-wise equality.
+func (s Signature) Equal(o Signature) bool {
+	if len(s) != len(o) {
+		return false
+	}
+	for i := range s {
+		if s[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// PublicKey is the owner's verification key, distributed to users through
+// an authenticated channel (Section 2.2).
+type PublicKey struct {
+	N *big.Int
+	E int
+
+	verifyOps atomic.Uint64
+}
+
+// PrivateKey is the owner's signing key.
+type PrivateKey struct {
+	key *rsa.PrivateKey
+	pub *PublicKey
+
+	signOps atomic.Uint64
+}
+
+// Generate creates a fresh RSA-FDH key pair. rng may be nil, in which case
+// crypto/rand.Reader is used.
+func Generate(bits int, rng io.Reader) (*PrivateKey, error) {
+	if bits == 0 {
+		bits = DefaultBits
+	}
+	if rng == nil {
+		rng = rand.Reader
+	}
+	key, err := rsa.GenerateKey(rng, bits)
+	if err != nil {
+		return nil, fmt.Errorf("sig: key generation: %w", err)
+	}
+	pub := &PublicKey{N: new(big.Int).Set(key.N), E: key.E}
+	return &PrivateKey{key: key, pub: pub}, nil
+}
+
+// Public returns the verification key.
+func (k *PrivateKey) Public() *PublicKey { return k.pub }
+
+// SigBytes returns the signature length in bytes (Msign/8).
+func (p *PublicKey) SigBytes() int { return (p.N.BitLen() + 7) / 8 }
+
+// SignOps returns how many signing operations the key has performed.
+func (k *PrivateKey) SignOps() uint64 { return k.signOps.Load() }
+
+// VerifyOps returns how many public-key operations the key has performed;
+// the Csign unit of the paper's cost model.
+func (p *PublicKey) VerifyOps() uint64 { return p.verifyOps.Load() }
+
+// ResetOps zeroes the verification counter.
+func (p *PublicKey) ResetOps() { p.verifyOps.Store(0) }
+
+// fdh maps a digest into Z_N via MGF1-SHA256 expansion reduced mod N.
+// Deterministic, so signer and verifier agree; the reduction bias is
+// negligible because the expansion is 64 bits wider than N.
+func fdh(n *big.Int, digest hashx.Digest) *big.Int {
+	byteLen := (n.BitLen()+7)/8 + 8
+	out := make([]byte, 0, byteLen)
+	var counter uint32
+	for len(out) < byteLen {
+		var ctr [4]byte
+		binary.BigEndian.PutUint32(ctr[:], counter)
+		sum := sha256.Sum256(append(append([]byte("vcqr/fdh"), digest...), ctr[:]...))
+		out = append(out, sum[:]...)
+		counter++
+	}
+	x := new(big.Int).SetBytes(out[:byteLen])
+	return x.Mod(x, n)
+}
+
+// Sign produces the RSA-FDH signature of digest. The private operation
+// uses the CRT (m^dp mod p, m^dq mod q, recombine) — ~4x faster than a
+// full-width exponentiation, which matters because the owner signs once
+// per record at build time.
+func (k *PrivateKey) Sign(digest hashx.Digest) Signature {
+	k.signOps.Add(1)
+	m := fdh(k.key.N, digest)
+	pr := k.key.Primes
+	pre := k.key.Precomputed
+	if len(pr) == 2 && pre.Dp != nil {
+		m1 := new(big.Int).Exp(m, pre.Dp, pr[0])
+		m2 := new(big.Int).Exp(m, pre.Dq, pr[1])
+		h := new(big.Int).Sub(m1, m2)
+		h.Mod(h, pr[0])
+		h.Mul(h, pre.Qinv)
+		h.Mod(h, pr[0])
+		s := h.Mul(h, pr[1])
+		s.Add(s, m2)
+		return encode(s, k.pub.SigBytes())
+	}
+	s := new(big.Int).Exp(m, k.key.D, k.key.N)
+	return encode(s, k.pub.SigBytes())
+}
+
+// Verify checks an individual signature against a digest.
+func (p *PublicKey) Verify(digest hashx.Digest, sig Signature) bool {
+	p.verifyOps.Add(1)
+	s, err := decode(sig, p)
+	if err != nil {
+		return false
+	}
+	got := new(big.Int).Exp(s, big.NewInt(int64(p.E)), p.N)
+	return got.Cmp(fdh(p.N, digest)) == 0
+}
+
+// Aggregate condenses signatures into one by multiplication mod N.
+// All signatures must come from the same key.
+func (p *PublicKey) Aggregate(sigs []Signature) (Signature, error) {
+	if len(sigs) == 0 {
+		return nil, ErrEmptyAggregate
+	}
+	acc := big.NewInt(1)
+	for _, s := range sigs {
+		v, err := decode(s, p)
+		if err != nil {
+			return nil, err
+		}
+		acc.Mul(acc, v)
+		acc.Mod(acc, p.N)
+	}
+	return encode(acc, p.SigBytes()), nil
+}
+
+// VerifyAggregate checks a condensed signature against the digests of the
+// messages it is supposed to cover. A single modular exponentiation is
+// performed regardless of len(digests) — the Section 5.2 saving.
+func (p *PublicKey) VerifyAggregate(digests []hashx.Digest, agg Signature) bool {
+	p.verifyOps.Add(1)
+	if len(digests) == 0 {
+		return false
+	}
+	s, err := decode(agg, p)
+	if err != nil {
+		return false
+	}
+	got := new(big.Int).Exp(s, big.NewInt(int64(p.E)), p.N)
+	want := big.NewInt(1)
+	for _, d := range digests {
+		want.Mul(want, fdh(p.N, d))
+		want.Mod(want, p.N)
+	}
+	return got.Cmp(want) == 0
+}
+
+func encode(v *big.Int, size int) Signature {
+	out := make([]byte, size)
+	v.FillBytes(out)
+	return out
+}
+
+func decode(s Signature, p *PublicKey) (*big.Int, error) {
+	if len(s) != p.SigBytes() {
+		return nil, ErrBadSignature
+	}
+	v := new(big.Int).SetBytes(s)
+	if v.Sign() <= 0 || v.Cmp(p.N) >= 0 {
+		return nil, ErrBadSignature
+	}
+	return v, nil
+}

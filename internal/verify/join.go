@@ -1,0 +1,157 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+)
+
+// Join verification failures.
+var (
+	ErrJoinIntegrity = errors.New("verify: join omits a matching S tuple (referential integrity)")
+	ErrJoinSpurious  = errors.New("verify: join carries S results for keys not in R")
+	ErrBandShape     = errors.New("verify: band join partitions inconsistent")
+)
+
+// JoinVerifier verifies the two sides of a join with their respective
+// domain parameters and schemas.
+type JoinVerifier struct {
+	R, S *Verifier
+}
+
+// VerifyJoin checks a PK-FK join result (Section 4.3): the R-side range
+// result is verified as usual; then every distinct foreign-key value in
+// the R rows must come with a verified point result on S containing at
+// least one tuple (referential integrity mandates a match, so an empty
+// point result means the publisher withheld it).
+func (jv *JoinVerifier) VerifyJoin(q engine.JoinQuery, role accessctl.Role, res *engine.JoinResult) ([]engine.JoinedRow, error) {
+	rRows, err := jv.R.VerifyResult(engine.Query{
+		Relation: q.R, KeyLo: q.KeyLo, KeyHi: q.KeyHi, Project: q.RProject,
+	}, role, res.R)
+	if err != nil {
+		return nil, fmt.Errorf("join R side: %w", err)
+	}
+	need := map[uint64]bool{}
+	for _, row := range rRows {
+		need[row.Key] = true
+	}
+	for v := range res.S {
+		if !need[v] {
+			return nil, fmt.Errorf("%w: key %d", ErrJoinSpurious, v)
+		}
+	}
+	sRows := make(map[uint64][]engine.Row, len(need))
+	for v := range need {
+		sRes, ok := res.S[v]
+		if !ok {
+			return nil, fmt.Errorf("%w: no S result for key %d", ErrJoinIntegrity, v)
+		}
+		rows, err := jv.S.VerifyResult(engine.Query{
+			Relation: q.S, KeyLo: v, KeyHi: v, Project: q.SProject,
+		}, role, sRes)
+		if err != nil {
+			return nil, fmt.Errorf("join S side (pk %d): %w", v, err)
+		}
+		if len(rows) == 0 {
+			return nil, fmt.Errorf("%w: key %d has no S tuple", ErrJoinIntegrity, v)
+		}
+		sRows[v] = rows
+	}
+	var out []engine.JoinedRow
+	for _, r := range rRows {
+		for _, s := range sRows[r.Key] {
+			out = append(out, engine.JoinedRow{RRow: r, SRow: s})
+		}
+	}
+	return out, nil
+}
+
+// VerifyBandJoin checks an R.key <= S.key band join per the Section 4.3
+// bullets: the R partition must be complete for (L, max(S.Aj)] and the S
+// partition for [min(R.Ai), U); an empty join is attested by a pivot v
+// with verified proofs that S has no key above v and R none at or below
+// v. Returns the joined pairs.
+func (jv *JoinVerifier) VerifyBandJoin(q engine.BandJoinQuery, role accessctl.Role, res *engine.BandJoinResult) ([]engine.JoinedRow, error) {
+	if res.Empty {
+		return nil, jv.verifyEmptyBand(q, role, res)
+	}
+	if res.R == nil || res.S == nil {
+		return nil, fmt.Errorf("%w: missing partition", ErrBandShape)
+	}
+	// The partitions' stated ranges.
+	rLo, rHi := res.R.Effective.KeyLo, res.R.Effective.KeyHi
+	sLo, sHi := res.S.Effective.KeyLo, res.S.Effective.KeyHi
+	if rLo != jv.R.Params.L+1 || sHi != jv.S.Params.U-1 {
+		return nil, fmt.Errorf("%w: partitions do not span the domain ends", ErrBandShape)
+	}
+	rRows, err := jv.R.VerifyResult(engine.Query{
+		Relation: q.R, KeyLo: rLo, KeyHi: rHi, Project: q.RProject,
+	}, role, res.R)
+	if err != nil {
+		return nil, fmt.Errorf("band R partition: %w", err)
+	}
+	sRows, err := jv.S.VerifyResult(engine.Query{
+		Relation: q.S, KeyLo: sLo, KeyHi: sHi, Project: q.SProject,
+	}, role, res.S)
+	if err != nil {
+		return nil, fmt.Errorf("band S partition: %w", err)
+	}
+	if len(rRows) == 0 || len(sRows) == 0 {
+		return nil, fmt.Errorf("%w: empty partition in a non-empty join", ErrBandShape)
+	}
+	// Cross-consistency: the R partition's upper bound must equal the
+	// verified max(S), and the S partition's lower bound the verified
+	// min(R) — the two bullets of Section 4.3.
+	maxS := sRows[len(sRows)-1].Key
+	minR := rRows[0].Key
+	if rHi != maxS {
+		return nil, fmt.Errorf("%w: R bound %d != max(S) %d", ErrBandShape, rHi, maxS)
+	}
+	if sLo != minR {
+		return nil, fmt.Errorf("%w: S bound %d != min(R) %d", ErrBandShape, sLo, minR)
+	}
+	var out []engine.JoinedRow
+	// sRows is sorted; for each r, pair with all s >= r.key.
+	for _, r := range rRows {
+		i := sort.Search(len(sRows), func(i int) bool { return sRows[i].Key >= r.Key })
+		for ; i < len(sRows); i++ {
+			out = append(out, engine.JoinedRow{RRow: r, SRow: sRows[i]})
+		}
+	}
+	return out, nil
+}
+
+// verifyEmptyBand checks the pivot separation proofs.
+func (jv *JoinVerifier) verifyEmptyBand(q engine.BandJoinQuery, role accessctl.Role, res *engine.BandJoinResult) error {
+	v := res.Pivot
+	// S ∩ [v+1, U-1] must be proven empty (unless vacuous: v+1 > U-1).
+	if v+1 <= jv.S.Params.U-1 {
+		if res.SEmpty == nil {
+			return fmt.Errorf("%w: missing S emptiness proof", ErrBandShape)
+		}
+		rows, err := jv.S.VerifyResult(engine.Query{Relation: q.S, KeyLo: v + 1}, role, res.SEmpty)
+		if err != nil {
+			return fmt.Errorf("band S emptiness: %w", err)
+		}
+		if len(rows) != 0 {
+			return fmt.Errorf("%w: S has keys above pivot %d", ErrBandShape, v)
+		}
+	}
+	// R ∩ [L+1, v] must be proven empty (unless vacuous: v < L+1).
+	if v >= jv.R.Params.L+1 {
+		if res.REmpty == nil {
+			return fmt.Errorf("%w: missing R emptiness proof", ErrBandShape)
+		}
+		rows, err := jv.R.VerifyResult(engine.Query{Relation: q.R, KeyLo: jv.R.Params.L + 1, KeyHi: v}, role, res.REmpty)
+		if err != nil {
+			return fmt.Errorf("band R emptiness: %w", err)
+		}
+		if len(rows) != 0 {
+			return fmt.Errorf("%w: R has keys at or below pivot %d", ErrBandShape, v)
+		}
+	}
+	return nil
+}

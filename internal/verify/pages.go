@@ -1,0 +1,60 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+)
+
+// Paged verification failures.
+var (
+	ErrPageTiling = errors.New("verify: pages do not tile the requested range")
+	ErrPageEmpty  = errors.New("verify: paged result has no pages")
+)
+
+// VerifyPaged checks a paged result: the pages' sub-ranges must tile
+// [KeyLo, KeyHi] exactly (adjacent, gap-free, in order), and every page
+// must verify for its sub-range. Tiling plus per-page completeness gives
+// completeness of the whole: no tuple can hide between pages.
+func (v *Verifier) VerifyPaged(q engine.Query, role accessctl.Role, res *engine.PagedResult) ([]engine.Row, error) {
+	if len(res.Pages) == 0 {
+		return nil, ErrPageEmpty
+	}
+	// The overall range must be the expected rewrite of the user's query;
+	// reuse the single-result check via the first page's query shape.
+	if err := v.checkRewrite(q, role, engine.Query{
+		Relation: q.Relation, KeyLo: res.KeyLo, KeyHi: res.KeyHi,
+		Filters: q.Filters, Project: res.Pages[0].Effective.Project, Distinct: q.Distinct,
+	}); err != nil {
+		return nil, err
+	}
+	var out []engine.Row
+	next := res.KeyLo
+	for i, page := range res.Pages {
+		if page == nil {
+			return nil, fmt.Errorf("%w: page %d missing", ErrPageTiling, i)
+		}
+		eff := page.Effective
+		if eff.KeyLo != next {
+			return nil, fmt.Errorf("%w: page %d starts at %d, want %d", ErrPageTiling, i, eff.KeyLo, next)
+		}
+		if eff.KeyHi > res.KeyHi || (i == len(res.Pages)-1 && eff.KeyHi != res.KeyHi) {
+			return nil, fmt.Errorf("%w: page %d ends at %d, range ends at %d", ErrPageTiling, i, eff.KeyHi, res.KeyHi)
+		}
+		// Verify the page against the page-shaped query; the role's
+		// rewrite already happened at the overall level, so the page
+		// query IS its effective query (pass an unrestricted clamp by
+		// using the page bounds as the asked bounds).
+		pageQ := q
+		pageQ.KeyLo, pageQ.KeyHi = eff.KeyLo, eff.KeyHi
+		rows, err := v.VerifyResult(pageQ, role, page)
+		if err != nil {
+			return nil, fmt.Errorf("page %d: %w", i, err)
+		}
+		out = append(out, rows...)
+		next = eff.KeyHi + 1
+	}
+	return out, nil
+}

@@ -1,0 +1,142 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+	"vcqr/internal/verify"
+)
+
+func TestPagedRoundTrip(t *testing.T) {
+	f := newVFix(t) // 30 records
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := f.pub.ExecutePaged("all", q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) < 4 {
+		t.Fatalf("30 records at page size 7 gave %d pages", len(res.Pages))
+	}
+	rows, err := f.v.VerifyPaged(q, f.role, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != f.sr.Len() {
+		t.Fatalf("paged rows = %d, want %d", len(rows), f.sr.Len())
+	}
+	// Rows arrive in key order across pages.
+	for i := 1; i < len(rows); i++ {
+		if rows[i].Key < rows[i-1].Key {
+			t.Fatal("rows out of order across pages")
+		}
+	}
+}
+
+func TestPagedSinglePage(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := f.pub.ExecutePaged("all", q, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pages) != 1 {
+		t.Fatalf("oversized page size gave %d pages", len(res.Pages))
+	}
+	if _, err := f.v.VerifyPaged(q, f.role, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPagedDroppedPageDetected(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := f.pub.ExecutePaged("all", q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop a middle page: the tiling check must catch the gap.
+	res.Pages = append(res.Pages[:1], res.Pages[2:]...)
+	if _, err := f.v.VerifyPaged(q, f.role, res); !errors.Is(err, verify.ErrPageTiling) {
+		t.Fatalf("dropped page: %v", err)
+	}
+}
+
+func TestPagedTruncatedTailDetected(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := f.pub.ExecutePaged("all", q, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Pages = res.Pages[:len(res.Pages)-1]
+	if _, err := f.v.VerifyPaged(q, f.role, res); !errors.Is(err, verify.ErrPageTiling) {
+		t.Fatalf("truncated tail: %v", err)
+	}
+}
+
+func TestPagedEmptyRejected(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	if _, err := f.v.VerifyPaged(q, f.role, &engine.PagedResult{KeyLo: 1, KeyHi: 1<<20 - 1}); !errors.Is(err, verify.ErrPageEmpty) {
+		t.Fatalf("empty paged result: %v", err)
+	}
+	if _, err := f.pub.ExecutePaged("all", q, 0); err == nil {
+		t.Fatal("page size 0 accepted")
+	}
+}
+
+func TestPagedUnderRoleRewrite(t *testing.T) {
+	// A role-restricted paged query: the overall range is clamped to the
+	// role's rights and the tiling check runs against the clamped range.
+	f := newVFix(t)
+	limited := accessctl.Role{Name: "limited", KeyHi: 1 << 19}
+	pub := engine.NewPublisher(f.h, signKey(t).Public(), accessctl.NewPolicy(limited))
+	if err := pub.AddRelation(f.sr, false); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1}
+	res, err := pub.ExecutePaged("limited", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.KeyHi != 1<<19 {
+		t.Fatalf("overall KeyHi = %d, want clamp to %d", res.KeyHi, 1<<19)
+	}
+	rows, err := f.v.VerifyPaged(q, limited, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.Key > 1<<19 {
+			t.Fatalf("row %d outside the role's rights", r.Key)
+		}
+	}
+	// Presenting the same pages to an unrestricted verifier expectation
+	// must fail (the rewrite differs).
+	if _, err := f.v.VerifyPaged(q, f.role, res); err == nil {
+		t.Fatal("clamped pages accepted under unrestricted expectations")
+	}
+}
+
+func TestPagedWithFiltersAndProjection(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{
+		Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1,
+		Project: []string{"Name"},
+	}
+	res, err := f.pub.ExecutePaged("all", q, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.v.VerifyPaged(q, f.role, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if len(r.Values) != 1 {
+			t.Fatal("projection not applied across pages")
+		}
+	}
+}

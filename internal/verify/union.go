@@ -1,0 +1,66 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+)
+
+// Union verification failures.
+var (
+	ErrUnionShape  = errors.New("verify: union result shape does not match the query")
+	ErrUnionMember = errors.New("verify: union member missing despite non-empty rights")
+)
+
+// VerifyUnion checks a union-of-ranges result: every member range that
+// intersects the caller's rights must carry a verified result; ranges
+// entirely outside the rights must be nil. Rows concatenate in range
+// order (ranges are disjoint and ascending, so no tuple is counted
+// twice).
+func (v *Verifier) VerifyUnion(uq engine.UnionQuery, role accessctl.Role, res *engine.UnionResult) ([]engine.Row, error) {
+	if len(uq.Ranges) == 0 || len(res.Members) != len(uq.Ranges) {
+		return nil, fmt.Errorf("%w: %d members for %d ranges", ErrUnionShape, len(res.Members), len(uq.Ranges))
+	}
+	for i, r := range uq.Ranges {
+		if r.Lo > r.Hi {
+			return nil, fmt.Errorf("%w: range %d inverted", ErrUnionShape, i)
+		}
+		if i > 0 && r.Lo <= uq.Ranges[i-1].Hi {
+			return nil, fmt.Errorf("%w: ranges %d and %d overlap", ErrUnionShape, i-1, i)
+		}
+	}
+	var out []engine.Row
+	for i, r := range uq.Ranges {
+		// Does this range survive the caller's own rights?
+		lo, hi := r.Lo, r.Hi
+		if lo <= v.Params.L {
+			lo = v.Params.L + 1
+		}
+		if hi == 0 || hi >= v.Params.U {
+			hi = v.Params.U - 1
+		}
+		_, _, allowed := role.ClampRange(lo, hi)
+		member := res.Members[i]
+		if !allowed {
+			if member != nil {
+				return nil, fmt.Errorf("%w: member %d present despite empty rights", ErrUnionShape, i)
+			}
+			continue
+		}
+		if member == nil {
+			return nil, fmt.Errorf("%w: member %d", ErrUnionMember, i)
+		}
+		q := engine.Query{
+			Relation: uq.Relation, KeyLo: r.Lo, KeyHi: r.Hi,
+			Filters: uq.Filters, Project: uq.Project, Distinct: uq.Distinct,
+		}
+		rows, err := v.VerifyResult(q, role, member)
+		if err != nil {
+			return nil, fmt.Errorf("union member %d: %w", i, err)
+		}
+		out = append(out, rows...)
+	}
+	return out, nil
+}

@@ -1,0 +1,128 @@
+package verify_test
+
+import (
+	"errors"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+	"vcqr/internal/verify"
+)
+
+func TestNotEqualDecomposition(t *testing.T) {
+	uq, err := engine.NotEqual("Emp", 500, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uq.Ranges) != 2 {
+		t.Fatalf("ranges = %v", uq.Ranges)
+	}
+	if uq.Ranges[0] != (engine.KeyRange{Lo: 1, Hi: 499}) ||
+		uq.Ranges[1] != (engine.KeyRange{Lo: 501, Hi: 999}) {
+		t.Fatalf("ranges = %v", uq.Ranges)
+	}
+	// Edge keys produce a single range.
+	uq, err = engine.NotEqual("Emp", 1, 0, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(uq.Ranges) != 1 || uq.Ranges[0].Lo != 2 {
+		t.Fatalf("ranges at edge = %v", uq.Ranges)
+	}
+	if _, err := engine.NotEqual("Emp", 0, 0, 1000); err == nil {
+		t.Fatal("key at L accepted")
+	}
+}
+
+// TestNotEqualRoundTrip runs K != key end to end: the union result must
+// contain every record except those with the excluded key.
+func TestNotEqualRoundTrip(t *testing.T) {
+	f := newVFix(t)
+	// Pick an existing key to exclude.
+	exclude := f.sr.Recs[3].Key()
+	uq, err := engine.NotEqual("Emp", exclude, f.sr.Params.L, f.sr.Params.U)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := f.pub.ExecuteUnion("all", uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := f.v.VerifyUnion(uq, f.role, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != f.sr.Len()-1 {
+		t.Fatalf("rows = %d, want %d", len(rows), f.sr.Len()-1)
+	}
+	for _, r := range rows {
+		if r.Key == exclude {
+			t.Fatalf("excluded key %d present", exclude)
+		}
+	}
+}
+
+func TestUnionOverlapRejected(t *testing.T) {
+	f := newVFix(t)
+	uq := engine.UnionQuery{Relation: "Emp", Ranges: []engine.KeyRange{
+		{Lo: 1, Hi: 100}, {Lo: 50, Hi: 200},
+	}}
+	if _, err := f.pub.ExecuteUnion("all", uq); err == nil {
+		t.Fatal("overlapping ranges accepted by publisher")
+	}
+	// Verifier independently rejects overlap.
+	fake := &engine.UnionResult{Members: make([]*engine.Result, 2)}
+	if _, err := f.v.VerifyUnion(uq, f.role, fake); !errors.Is(err, verify.ErrUnionShape) {
+		t.Fatalf("verifier overlap: %v", err)
+	}
+}
+
+func TestUnionMissingMemberRejected(t *testing.T) {
+	f := newVFix(t)
+	uq := engine.UnionQuery{Relation: "Emp", Ranges: []engine.KeyRange{
+		{Lo: 1, Hi: 1000}, {Lo: 2000, Hi: 1 << 19},
+	}}
+	res, err := f.pub.ExecuteUnion("all", uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Members[1] = nil // publisher silently drops a member
+	if _, err := f.v.VerifyUnion(uq, f.role, res); !errors.Is(err, verify.ErrUnionMember) {
+		t.Fatalf("missing member: %v", err)
+	}
+}
+
+func TestUnionRespectsRowPolicy(t *testing.T) {
+	// A member range entirely outside the role's rights must be nil; the
+	// verifier knows that from its own policy knowledge.
+	f := newVFix(t)
+	limited := accessctl.Role{Name: "limited", KeyHi: 1 << 10}
+	pub := engine.NewPublisher(f.h, signKey(t).Public(), accessctl.NewPolicy(limited))
+	if err := pub.AddRelation(f.sr, false); err != nil {
+		t.Fatal(err)
+	}
+	uq := engine.UnionQuery{Relation: "Emp", Ranges: []engine.KeyRange{
+		{Lo: 1, Hi: 1 << 10},           // inside rights
+		{Lo: 1<<10 + 1, Hi: 1<<20 - 1}, // entirely outside rights
+	}}
+	res, err := pub.ExecuteUnion("limited", uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Members[1] != nil {
+		t.Fatal("out-of-rights member should be nil")
+	}
+	if _, err := f.v.VerifyUnion(uq, limited, res); err != nil {
+		t.Fatalf("legitimate union rejected: %v", err)
+	}
+	// A publisher ignoring the policy and answering the second member
+	// anyway is rejected.
+	full, err := f.pub.ExecuteUnion("all", uq)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res.Members[1] = full.Members[1]
+	if _, err := f.v.VerifyUnion(uq, limited, res); err == nil {
+		t.Fatal("out-of-rights member accepted")
+	}
+}

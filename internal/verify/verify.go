@@ -1,0 +1,377 @@
+// Package verify is the user side of the data-publishing model (Figure
+// 3): given the owner's public key and domain parameters (obtained over an
+// authenticated channel) it checks a publisher's result against its
+// verification object and either returns the verified rows or an error
+// naming what failed.
+//
+// The checks implement the completeness analysis of Section 3.2 plus the
+// precision requirement of Section 3: every covered record reconstructs a
+// g digest, the signature chain binds consecutive digests, the boundary
+// proofs place the adjacent records strictly outside the rewritten range,
+// and nothing beyond the query's projection is accepted as disclosed.
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// Verification failures. All of them mean "reject the result".
+var (
+	ErrRewriteMismatch  = errors.New("verify: effective query does not match the expected rewrite")
+	ErrBoundary         = errors.New("verify: boundary proof invalid")
+	ErrEntry            = errors.New("verify: entry malformed")
+	ErrKeyOutOfRange    = errors.New("verify: entry key outside effective range")
+	ErrKeyOrder         = errors.New("verify: entry keys out of order")
+	ErrFilterViolation  = errors.New("verify: result entry fails the query filters")
+	ErrFilteredMatches  = errors.New("verify: filtered entry actually satisfies the query")
+	ErrPrecision        = errors.New("verify: disclosure does not match the projection")
+	ErrHiddenNotAllowed = errors.New("verify: hidden entry without a record-level policy")
+	ErrVisibility       = errors.New("verify: hidden entry visibility disclosure invalid")
+	ErrSignature        = errors.New("verify: signature check failed")
+	ErrDistinct         = errors.New("verify: duplicate elision without DISTINCT")
+)
+
+// Verifier holds the user's trusted inputs: the owner's public key, the
+// domain parameters, and the relation schema.
+type Verifier struct {
+	H      *hashx.Hasher
+	Pub    *sig.PublicKey
+	Params core.Params
+	Schema relation.Schema
+}
+
+// New constructs a verifier.
+func New(h *hashx.Hasher, pub *sig.PublicKey, p core.Params, schema relation.Schema) *Verifier {
+	return &Verifier{H: h, Pub: pub, Params: p, Schema: schema}
+}
+
+// VerifyResult checks a publisher result against the query the user
+// issued and the user's knowledge of their own rights (role). On success
+// it returns the verified result rows in key order.
+func (v *Verifier) VerifyResult(q engine.Query, role accessctl.Role, res *engine.Result) ([]engine.Row, error) {
+	if err := v.checkRewrite(q, role, res.Effective); err != nil {
+		return nil, err
+	}
+	eff := res.Effective
+	vo := &res.VO
+	if vo.KeyLo != eff.KeyLo || vo.KeyHi != eff.KeyHi {
+		return nil, fmt.Errorf("%w: VO range [%d,%d] vs effective [%d,%d]", ErrRewriteMismatch, vo.KeyLo, vo.KeyHi, eff.KeyLo, eff.KeyHi)
+	}
+
+	gLeft, err := core.VerifyBoundary(v.H, v.Params, vo.Left, core.Up, vo.KeyLo)
+	if err != nil {
+		return nil, fmt.Errorf("%w: left: %v", ErrBoundary, err)
+	}
+	gRight, err := core.VerifyBoundary(v.H, v.Params, vo.Right, core.Down, vo.KeyHi)
+	if err != nil {
+		return nil, fmt.Errorf("%w: right: %v", ErrBoundary, err)
+	}
+
+	gs := make([]hashx.Digest, 0, len(vo.Entries))
+	rows := make([]engine.Row, 0, len(vo.Entries))
+	lastKey := uint64(0)
+	haveKey := false
+	for i, e := range vo.Entries {
+		g, row, key, hasKey, err := v.entryG(eff, role, e)
+		if err != nil {
+			return nil, fmt.Errorf("entry %d: %w", i, err)
+		}
+		if hasKey {
+			if key < eff.KeyLo || key > eff.KeyHi {
+				return nil, fmt.Errorf("%w: entry %d key %d", ErrKeyOutOfRange, i, key)
+			}
+			if haveKey && key < lastKey {
+				return nil, fmt.Errorf("%w: entry %d", ErrKeyOrder, i)
+			}
+			lastKey, haveKey = key, true
+		}
+		gs = append(gs, g)
+		if row != nil {
+			rows = append(rows, *row)
+		}
+	}
+
+	digests, err := v.chainDigests(vo, gLeft, gRight, gs)
+	if err != nil {
+		return nil, err
+	}
+	if err := v.checkSignatures(vo, digests); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// checkRewrite recomputes the rewrite the publisher should have performed
+// and compares. A publisher that silently narrows (hiding records) or
+// widens (leaking records) the range is caught here; a lying *rewrite*
+// combined with a consistent VO would still verify structurally, which is
+// why the user must know their own rights — exactly the paper's trust
+// model, where rewriting is mandated by the owner's policy.
+func (v *Verifier) checkRewrite(q engine.Query, role accessctl.Role, eff engine.Query) error {
+	lo, hi := q.KeyLo, q.KeyHi
+	if lo <= v.Params.L {
+		lo = v.Params.L + 1
+	}
+	if hi == 0 || hi >= v.Params.U {
+		hi = v.Params.U - 1
+	}
+	lo, hi, ok := role.ClampRange(lo, hi)
+	if !ok {
+		return fmt.Errorf("%w: rewrite empties the range", ErrRewriteMismatch)
+	}
+	if eff.KeyLo != lo || eff.KeyHi != hi {
+		return fmt.Errorf("%w: expected [%d,%d], got [%d,%d]", ErrRewriteMismatch, lo, hi, eff.KeyLo, eff.KeyHi)
+	}
+	wantCols := role.FilterCols(v.Schema, q.Project)
+	if !sameCols(wantCols, eff.Project) {
+		return fmt.Errorf("%w: projection", ErrRewriteMismatch)
+	}
+	if eff.Distinct != q.Distinct || len(eff.Filters) != len(q.Filters) {
+		return fmt.Errorf("%w: flags or filters", ErrRewriteMismatch)
+	}
+	return nil
+}
+
+func sameCols(a, b []string) bool {
+	if (a == nil) != (b == nil) || len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// entryG reconstructs g for one VO entry and performs the per-entry
+// semantic checks. It returns the row for EntryResult entries and the key
+// when the entry discloses one.
+func (v *Verifier) entryG(eff engine.Query, role accessctl.Role, e engine.VOEntry) (hashx.Digest, *engine.Row, uint64, bool, error) {
+	nLeaves := len(v.Schema.Cols) + 1
+	switch e.Mode {
+	case engine.EntryResult, engine.EntryFilteredVisible:
+		tuple, disclosed, err := v.openDisclosure(e)
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		if e.Mode == engine.EntryResult {
+			if err := v.checkResultDisclosure(eff, e); err != nil {
+				return nil, nil, 0, false, err
+			}
+			if !passesDisclosed(v.Schema, eff, disclosed) {
+				return nil, nil, 0, false, ErrFilterViolation
+			}
+		} else {
+			if err := v.checkFilteredDisclosure(eff, e, disclosed); err != nil {
+				return nil, nil, 0, false, err
+			}
+		}
+		attrRoot, err := core.AttrRootFromDisclosure(v.H, nLeaves, tuple, hiddenMap(e, tuple, nLeaves))
+		if err != nil {
+			return nil, nil, 0, false, fmt.Errorf("%w: %v", ErrEntry, err)
+		}
+		g, err := core.EntryG(v.H, v.Params, e.Key, core.KindRecord, e.Chain, attrRoot)
+		if err != nil {
+			return nil, nil, 0, false, fmt.Errorf("%w: %v", ErrEntry, err)
+		}
+		var row *engine.Row
+		if e.Mode == engine.EntryResult {
+			row = &engine.Row{Key: e.Key, Values: e.Disclosed}
+		}
+		return g, row, e.Key, true, nil
+
+	case engine.EntryFilteredHidden:
+		if role.VisibilityCol == "" {
+			return nil, nil, 0, false, ErrHiddenNotAllowed
+		}
+		visCol := v.Schema.ColIndex(role.VisibilityCol)
+		if visCol < 0 {
+			return nil, nil, 0, false, ErrHiddenNotAllowed
+		}
+		if len(e.Disclosed) != 1 || e.Disclosed[0].Col != visCol ||
+			!e.Disclosed[0].Val.Equal(relation.BoolVal(false)) {
+			return nil, nil, 0, false, ErrVisibility
+		}
+		tuple, _, err := v.openDisclosure(e)
+		if err != nil {
+			return nil, nil, 0, false, err
+		}
+		attrRoot, err := core.AttrRootFromDisclosure(v.H, nLeaves, tuple, hiddenMap(e, tuple, nLeaves))
+		if err != nil {
+			return nil, nil, 0, false, fmt.Errorf("%w: %v", ErrEntry, err)
+		}
+		if len(e.UpCombined) != v.H.Size() || len(e.DownCombined) != v.H.Size() {
+			return nil, nil, 0, false, fmt.Errorf("%w: hidden entry chain digests", ErrEntry)
+		}
+		g := core.GFromComponents(v.H, core.KindRecord, e.UpCombined, e.DownCombined, attrRoot)
+		return g, nil, 0, false, nil
+
+	case engine.EntryElidedDup:
+		if !eff.Distinct {
+			return nil, nil, 0, false, ErrDistinct
+		}
+		if len(e.G) != v.H.Size() {
+			return nil, nil, 0, false, fmt.Errorf("%w: elided dup digest", ErrEntry)
+		}
+		return e.G, nil, 0, false, nil
+
+	default:
+		return nil, nil, 0, false, fmt.Errorf("%w: unknown mode %d", ErrEntry, e.Mode)
+	}
+}
+
+// openDisclosure converts an entry's disclosed attributes into the leaf
+// pre-image map used for attribute-root reconstruction, rejecting
+// duplicate or out-of-range columns.
+func (v *Verifier) openDisclosure(e engine.VOEntry) (map[int][]byte, map[int]relation.Value, error) {
+	pre := make(map[int][]byte, len(e.Disclosed))
+	vals := make(map[int]relation.Value, len(e.Disclosed))
+	for _, d := range e.Disclosed {
+		if d.Col < 0 || d.Col >= len(v.Schema.Cols) {
+			return nil, nil, fmt.Errorf("%w: disclosed column %d out of schema", ErrEntry, d.Col)
+		}
+		leaf := d.Col + 1
+		if _, dup := pre[leaf]; dup {
+			return nil, nil, fmt.Errorf("%w: column %d disclosed twice", ErrEntry, d.Col)
+		}
+		pre[leaf] = d.Val.Encode()
+		vals[d.Col] = d.Val
+	}
+	return pre, vals, nil
+}
+
+// hiddenMap assigns the entry's hidden leaf digests to the leaf indexes
+// not covered by the disclosure, in ascending order.
+func hiddenMap(e engine.VOEntry, disclosed map[int][]byte, nLeaves int) map[int]hashx.Digest {
+	hidden := make(map[int]hashx.Digest, len(e.HiddenLeaves))
+	j := 0
+	for i := 0; i < nLeaves && j < len(e.HiddenLeaves); i++ {
+		if _, ok := disclosed[i]; ok {
+			continue
+		}
+		hidden[i] = e.HiddenLeaves[j]
+		j++
+	}
+	return hidden
+}
+
+// checkResultDisclosure enforces precision: a result entry must disclose
+// exactly the projected columns — no more (information leak) and no less
+// (unusable result).
+func (v *Verifier) checkResultDisclosure(eff engine.Query, e engine.VOEntry) error {
+	want := map[int]bool{}
+	if eff.Project == nil {
+		for i := range v.Schema.Cols {
+			want[i] = true
+		}
+	} else {
+		for _, name := range eff.Project {
+			i := v.Schema.ColIndex(name)
+			if i < 0 {
+				return fmt.Errorf("%w: unknown projected column %q", ErrEntry, name)
+			}
+			want[i] = true
+		}
+	}
+	if len(e.Disclosed) != len(want) {
+		return fmt.Errorf("%w: %d disclosed, %d projected", ErrPrecision, len(e.Disclosed), len(want))
+	}
+	for _, d := range e.Disclosed {
+		if !want[d.Col] {
+			return fmt.Errorf("%w: column %d not projected", ErrPrecision, d.Col)
+		}
+	}
+	return nil
+}
+
+// checkFilteredDisclosure validates a Case 1 entry: every filter column
+// must be disclosed, and the disclosed values must fail at least one
+// filter — otherwise the publisher is withholding a qualifying tuple.
+func (v *Verifier) checkFilteredDisclosure(eff engine.Query, e engine.VOEntry, vals map[int]relation.Value) error {
+	if len(eff.Filters) == 0 {
+		return fmt.Errorf("%w: filtered entry in an unfiltered query", ErrFilteredMatches)
+	}
+	for _, f := range eff.Filters {
+		col := v.Schema.ColIndex(f.Col)
+		if _, ok := vals[col]; !ok {
+			return fmt.Errorf("%w: filter column %q not disclosed", ErrEntry, f.Col)
+		}
+	}
+	if passesDisclosed(v.Schema, eff, vals) {
+		return ErrFilteredMatches
+	}
+	return nil
+}
+
+// passesDisclosed evaluates the query filters over disclosed values;
+// missing columns count as failing (conservative: the result entry must
+// disclose every filter column via the projection check or the values
+// would be unusable anyway).
+func passesDisclosed(schema relation.Schema, eff engine.Query, vals map[int]relation.Value) bool {
+	for _, f := range eff.Filters {
+		val, ok := vals[schema.ColIndex(f.Col)]
+		if !ok || !f.Eval(val) {
+			return false
+		}
+	}
+	return true
+}
+
+// chainDigests computes the formula (1) digests the signatures must match:
+// one per covered entry, with the boundary g digests as the end
+// neighbours, or the single predecessor digest when the range is empty.
+func (v *Verifier) chainDigests(vo *engine.RangeVO, gLeft, gRight hashx.Digest, gs []hashx.Digest) ([]hashx.Digest, error) {
+	if len(gs) == 0 {
+		// Empty range: check sig(pred) binding pred and succ as adjacent.
+		prev := vo.PredPrevG
+		if prev != nil && len(prev) != v.H.Size() {
+			return nil, fmt.Errorf("%w: PredPrevG width", ErrEntry)
+		}
+		return []hashx.Digest{core.SigDigestFor(v.H, v.Params, prev, gLeft, gRight)}, nil
+	}
+	digests := make([]hashx.Digest, len(gs))
+	for i := range gs {
+		prev := gLeft
+		if i > 0 {
+			prev = gs[i-1]
+		}
+		next := gRight
+		if i < len(gs)-1 {
+			next = gs[i+1]
+		}
+		digests[i] = core.SigDigestFor(v.H, v.Params, prev, gs[i], next)
+	}
+	return digests, nil
+}
+
+// checkSignatures verifies the aggregate or per-entry signatures against
+// the reconstructed digests.
+func (v *Verifier) checkSignatures(vo *engine.RangeVO, digests []hashx.Digest) error {
+	switch {
+	case vo.AggSig != nil:
+		if !v.Pub.VerifyAggregate(digests, vo.AggSig) {
+			return fmt.Errorf("%w: aggregate", ErrSignature)
+		}
+	case len(vo.IndividualSigs) > 0:
+		if len(vo.IndividualSigs) != len(digests) {
+			return fmt.Errorf("%w: %d signatures for %d digests", ErrSignature, len(vo.IndividualSigs), len(digests))
+		}
+		for i, s := range vo.IndividualSigs {
+			if !v.Pub.Verify(digests[i], s) {
+				return fmt.Errorf("%w: entry %d", ErrSignature, i)
+			}
+		}
+	default:
+		return fmt.Errorf("%w: no signatures in VO", ErrSignature)
+	}
+	return nil
+}

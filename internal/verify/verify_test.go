@@ -1,0 +1,296 @@
+package verify_test
+
+import (
+	"errors"
+	"math/rand"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/verify"
+	"vcqr/internal/workload"
+)
+
+// fixture for direct verifier tests: a 30-record employee relation with
+// an all-access role.
+type vfix struct {
+	h    *hashx.Hasher
+	sr   *core.SignedRelation
+	pub  *engine.Publisher
+	role accessctl.Role
+	v    *verify.Verifier
+}
+
+func newVFix(t testing.TB) *vfix {
+	t.Helper()
+	h := hashx.New()
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: 30, L: 0, U: 1 << 20, PhotoSize: 16, Seed: 21,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewParams(0, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.Build(h, signKey(t), p, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role := accessctl.Role{Name: "all"}
+	pub := engine.NewPublisher(h, signKey(t).Public(), accessctl.NewPolicy(role))
+	if err := pub.AddRelation(sr, false); err != nil {
+		t.Fatal(err)
+	}
+	return &vfix{
+		h: h, sr: sr, pub: pub, role: role,
+		v: verify.New(h, signKey(t).Public(), p, rel.Schema),
+	}
+}
+
+func (f *vfix) query(t testing.TB, q engine.Query) *engine.Result {
+	t.Helper()
+	res, err := f.pub.Execute("all", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestRejectsOverDisclosure(t *testing.T) {
+	// Precision: an entry disclosing more columns than projected must be
+	// rejected even though the extra values are authentic.
+	f := newVFix(t)
+	qNarrow := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19, Project: []string{"Name"}}
+	qWide := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	narrow := f.query(t, qNarrow)
+	wide := f.query(t, qWide)
+	if len(narrow.VO.Entries) == 0 || len(wide.VO.Entries) == 0 {
+		t.Fatal("need non-empty results")
+	}
+	// Substitute the fully-disclosed entry for the projected one.
+	narrow.VO.Entries[0] = wide.VO.Entries[0]
+	_, err := f.v.VerifyResult(qNarrow, f.role, narrow)
+	if err == nil {
+		t.Fatal("over-disclosure accepted")
+	}
+	if !errors.Is(err, verify.ErrPrecision) && !errors.Is(err, verify.ErrEntry) {
+		t.Fatalf("unexpected rejection reason: %v", err)
+	}
+}
+
+func TestRejectsMissingSignatures(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	res := f.query(t, q)
+	res.VO.AggSig = nil
+	res.VO.IndividualSigs = nil
+	if _, err := f.v.VerifyResult(q, f.role, res); !errors.Is(err, verify.ErrSignature) {
+		t.Fatalf("missing signatures: %v", err)
+	}
+}
+
+func TestRejectsWrongIndividualSigCount(t *testing.T) {
+	f := newVFix(t)
+	f.pub.Aggregate = false
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	res := f.query(t, q)
+	f.pub.Aggregate = true
+	if len(res.VO.IndividualSigs) < 2 {
+		t.Fatal("need multiple signatures")
+	}
+	res.VO.IndividualSigs = res.VO.IndividualSigs[:len(res.VO.IndividualSigs)-1]
+	if _, err := f.v.VerifyResult(q, f.role, res); !errors.Is(err, verify.ErrSignature) {
+		t.Fatalf("short signature list: %v", err)
+	}
+}
+
+func TestRejectsReorderedEntries(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	res := f.query(t, q)
+	if len(res.VO.Entries) < 2 {
+		t.Fatal("need >= 2 entries")
+	}
+	es := res.VO.Entries
+	es[0], es[1] = es[1], es[0]
+	if _, err := f.v.VerifyResult(q, f.role, res); err == nil {
+		t.Fatal("reordered entries accepted")
+	}
+}
+
+func TestRejectsMalformedPredPrevG(t *testing.T) {
+	f := newVFix(t)
+	// An empty range whose predecessor is a real record.
+	hiKey := f.sr.Recs[2].Key()
+	loKey := hiKey + 1
+	var hi uint64 = f.sr.Recs[3].Key() - 1
+	if hi < loKey {
+		t.Skip("adjacent keys; no empty gap at this seed")
+	}
+	q := engine.Query{Relation: "Emp", KeyLo: loKey, KeyHi: hi}
+	res := f.query(t, q)
+	if len(res.VO.Entries) != 0 {
+		t.Fatal("expected empty result")
+	}
+	res.VO.PredPrevG = res.VO.PredPrevG[:4]
+	if _, err := f.v.VerifyResult(q, f.role, res); err == nil {
+		t.Fatal("malformed PredPrevG accepted")
+	}
+}
+
+func TestRejectsEffectiveRangeMismatch(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	res := f.query(t, q)
+	res.VO.KeyHi++ // VO range differs from effective query
+	if _, err := f.v.VerifyResult(q, f.role, res); !errors.Is(err, verify.ErrRewriteMismatch) {
+		t.Fatalf("VO/effective mismatch: %v", err)
+	}
+}
+
+// TestRandomBitFlipsNeverVerify flips random bits across the VO's digest
+// material and checks that no mutation yields an accepted result — the
+// blanket soundness fuzz.
+func TestRandomBitFlipsNeverVerify(t *testing.T) {
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	rng := rand.New(rand.NewSource(31))
+	for trial := 0; trial < 60; trial++ {
+		res := f.query(t, q) // fresh result each time
+		vo := &res.VO
+		// Collect mutation targets: every digest slice in the VO.
+		var targets [][]byte
+		for i := range vo.Entries {
+			e := &vo.Entries[i]
+			for _, d := range e.HiddenLeaves {
+				targets = append(targets, d)
+			}
+			if e.Chain.UpRoot != nil {
+				targets = append(targets, e.Chain.UpRoot)
+			}
+			if e.Chain.DownRoot != nil {
+				targets = append(targets, e.Chain.DownRoot)
+			}
+		}
+		for _, d := range vo.Left.Chain.Intermediates {
+			targets = append(targets, d)
+		}
+		for _, d := range vo.Right.Chain.Intermediates {
+			targets = append(targets, d)
+		}
+		if vo.Left.OtherCombined != nil {
+			targets = append(targets, vo.Left.OtherCombined)
+		}
+		if vo.Left.AttrRoot != nil {
+			targets = append(targets, vo.Left.AttrRoot)
+		}
+		targets = append(targets, vo.AggSig)
+		tgt := targets[rng.Intn(len(targets))]
+		tgt[rng.Intn(len(tgt))] ^= 1 << uint(rng.Intn(8))
+		if _, err := f.v.VerifyResult(q, f.role, res); err == nil {
+			t.Fatalf("trial %d: mutated VO verified", trial)
+		}
+	}
+}
+
+// TestHonestResultAlwaysVerifies is the complement of the fuzz above:
+// across many random queries the honest publisher is never rejected.
+func TestHonestResultAlwaysVerifies(t *testing.T) {
+	f := newVFix(t)
+	rng := rand.New(rand.NewSource(41))
+	for trial := 0; trial < 40; trial++ {
+		lo := uint64(rng.Intn(1<<20-2)) + 1
+		hi := lo + uint64(rng.Intn(1<<18))
+		if hi >= 1<<20 {
+			hi = 1<<20 - 1
+		}
+		q := engine.Query{Relation: "Emp", KeyLo: lo, KeyHi: hi}
+		switch trial % 3 {
+		case 1:
+			q.Project = []string{"Name", "Dept"}
+		case 2:
+			q.Filters = []engine.Filter{{Col: "Dept", Op: engine.OpLe, Val: relation.IntVal(2)}}
+		}
+		res := f.query(t, q)
+		if _, err := f.v.VerifyResult(q, f.role, res); err != nil {
+			t.Fatalf("trial %d [%d,%d]: honest result rejected: %v", trial, lo, hi, err)
+		}
+	}
+}
+
+func TestAggregateHelpers(t *testing.T) {
+	schema := relation.Schema{
+		Name: "T", KeyName: "K",
+		Cols: []relation.Column{{Name: "V", Type: relation.TypeInt}, {Name: "S", Type: relation.TypeString}},
+	}
+	rows := []engine.Row{
+		{Key: 10, Values: []engine.DisclosedAttr{{Col: 0, Val: relation.IntVal(5)}}},
+		{Key: 20, Values: []engine.DisclosedAttr{{Col: 0, Val: relation.IntVal(7)}}},
+		{Key: 30, Values: []engine.DisclosedAttr{{Col: 0, Val: relation.IntVal(9)}}},
+	}
+	if verify.Count(rows) != 3 {
+		t.Error("Count")
+	}
+	if verify.SumKeys(rows) != 60 {
+		t.Error("SumKeys")
+	}
+	if avg, err := verify.AvgKeys(rows); err != nil || avg != 20 {
+		t.Errorf("AvgKeys = %v, %v", avg, err)
+	}
+	if s, err := verify.SumInt(schema, rows, "V"); err != nil || s != 21 {
+		t.Errorf("SumInt = %v, %v", s, err)
+	}
+	if a, err := verify.AvgInt(schema, rows, "V"); err != nil || a != 7 {
+		t.Errorf("AvgInt = %v, %v", a, err)
+	}
+	lo, hi, err := verify.MinMaxKeys(rows)
+	if err != nil || lo != 10 || hi != 30 {
+		t.Errorf("MinMaxKeys = %d, %d, %v", lo, hi, err)
+	}
+	// Error paths.
+	if _, err := verify.AvgKeys(nil); !errors.Is(err, verify.ErrNoRows) {
+		t.Error("AvgKeys(nil)")
+	}
+	if _, _, err := verify.MinMaxKeys(nil); !errors.Is(err, verify.ErrNoRows) {
+		t.Error("MinMaxKeys(nil)")
+	}
+	if _, err := verify.SumInt(schema, rows, "Missing"); err == nil {
+		t.Error("SumInt missing column")
+	}
+	if _, err := verify.SumInt(schema, rows, "S"); err == nil {
+		t.Error("SumInt on undisclosed/wrong-typed column")
+	}
+	if _, err := verify.AvgInt(schema, nil, "V"); !errors.Is(err, verify.ErrNoRows) {
+		t.Error("AvgInt(nil)")
+	}
+}
+
+func TestVerifiedAggregateEndToEnd(t *testing.T) {
+	// Duplicates retained (no DISTINCT): SUM over a verified multiset is
+	// trustworthy, the Section 4.2 point.
+	f := newVFix(t)
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1<<20 - 1, Project: []string{"Dept"}}
+	res := f.query(t, q)
+	rows, err := f.v.VerifyResult(q, f.role, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := verify.SumInt(f.sr.Schema, rows, "Dept")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Ground truth.
+	var want int64
+	deptIdx := f.sr.Schema.ColIndex("Dept")
+	for i := 1; i <= f.sr.Len(); i++ {
+		want += f.sr.Recs[i].Tuple.Attrs[deptIdx].Int
+	}
+	if sum != want {
+		t.Fatalf("verified SUM(Dept) = %d, ground truth %d", sum, want)
+	}
+}

@@ -1,0 +1,178 @@
+// Package wire provides serialization and the HTTP transport of the
+// data-publishing deployment (Figure 3): the owner ships gob-encoded
+// signed relations to publishers; publishers answer queries over HTTP
+// with gob-encoded results; users verify client-side with the owner's
+// public key. Nothing in the transport is trusted — all integrity comes
+// from the verification objects.
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math/big"
+	"net/http"
+	"os"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/relation"
+)
+
+// ClientParams is everything a user needs from the owner over an
+// authenticated channel to verify results: the public key, the domain
+// parameters, the schema, and the role definitions (so the user can check
+// query rewrites against their own rights).
+type ClientParams struct {
+	N      *big.Int
+	E      int
+	Params core.Params
+	Schema relation.Schema
+	Roles  map[string]accessctl.Role
+}
+
+// WriteClientParams writes the parameters file the owner distributes.
+func WriteClientParams(path string, cp ClientParams) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("wire: write params: %w", err)
+	}
+	if err := gob.NewEncoder(f).Encode(cp); err != nil {
+		f.Close()
+		return fmt.Errorf("wire: encode params: %w", err)
+	}
+	return f.Close()
+}
+
+// ReadClientParams loads a parameters file.
+func ReadClientParams(path string) (ClientParams, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return ClientParams{}, fmt.Errorf("wire: read params: %w", err)
+	}
+	defer f.Close()
+	var cp ClientParams
+	if err := gob.NewDecoder(f).Decode(&cp); err != nil {
+		return ClientParams{}, fmt.Errorf("wire: decode params: %w", err)
+	}
+	return cp, nil
+}
+
+// EncodeRelation serializes a signed relation for distribution.
+func EncodeRelation(sr *core.SignedRelation) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(sr); err != nil {
+		return nil, fmt.Errorf("wire: encode relation: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeRelation deserializes a signed relation. Publishers must still
+// Validate it against the owner's public key.
+func DecodeRelation(data []byte) (*core.SignedRelation, error) {
+	var sr core.SignedRelation
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&sr); err != nil {
+		return nil, fmt.Errorf("wire: decode relation: %w", err)
+	}
+	return &sr, nil
+}
+
+// Request is a query addressed to a publisher.
+type Request struct {
+	Role  string
+	Query engine.Query
+}
+
+// Response wraps either a result or a publisher-side error message.
+type Response struct {
+	Result *engine.Result
+	Err    string
+}
+
+// EncodeResult and DecodeResult serialize publisher responses.
+func EncodeResult(res *engine.Result) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(Response{Result: res}); err != nil {
+		return nil, fmt.Errorf("wire: encode result: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeResult deserializes a publisher response.
+func DecodeResult(data []byte) (*engine.Result, error) {
+	var resp Response
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&resp); err != nil {
+		return nil, fmt.Errorf("wire: decode result: %w", err)
+	}
+	if resp.Err != "" {
+		return nil, fmt.Errorf("wire: publisher error: %s", resp.Err)
+	}
+	return resp.Result, nil
+}
+
+// Handler returns an http.Handler exposing a publisher at POST /query.
+func Handler(pub *engine.Publisher) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req Request
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		var resp Response
+		res, err := pub.Execute(req.Role, req.Query)
+		if err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Result = res
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		if err := gob.NewEncoder(w).Encode(resp); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+// Client queries a remote publisher.
+type Client struct {
+	BaseURL string
+	HTTP    *http.Client
+}
+
+// Query sends a request and decodes the response. The result is NOT
+// verified; callers pass it to verify.Verifier.
+func (c *Client) Query(role string, q engine.Query) (*engine.Result, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(Request{Role: role, Query: q}); err != nil {
+		return nil, fmt.Errorf("wire: encode request: %w", err)
+	}
+	resp, err := httpc.Post(c.BaseURL+"/query", "application/octet-stream", &body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: post: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("wire: publisher returned %s", resp.Status)
+	}
+	var out Response
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, fmt.Errorf("wire: decode response: %w", err)
+	}
+	if out.Err != "" {
+		return nil, fmt.Errorf("wire: publisher error: %s", out.Err)
+	}
+	return out.Result, nil
+}

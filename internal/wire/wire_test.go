@@ -1,0 +1,223 @@
+package wire_test
+
+import (
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/sig"
+	"vcqr/internal/verify"
+	"vcqr/internal/wire"
+	"vcqr/internal/workload"
+)
+
+var (
+	keyOnce  sync.Once
+	ownerKey *sig.PrivateKey
+)
+
+func signKey(t testing.TB) *sig.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := sig.Generate(sig.DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		ownerKey = k
+	})
+	return ownerKey
+}
+
+func TestRelationRoundTripThroughGob(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 20, L: 0, U: 1 << 20, PhotoSize: 16, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := wire.EncodeRelation(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeRelation(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The decoded relation must survive full validation — every digest
+	// and signature intact.
+	if err := got.Validate(h, o.PublicKey()); err != nil {
+		t.Fatalf("decoded relation invalid: %v", err)
+	}
+	if got.Len() != sr.Len() {
+		t.Fatalf("lengths differ: %d vs %d", got.Len(), sr.Len())
+	}
+}
+
+// TestHTTPEndToEnd runs the full Figure 3 deployment: owner signs, the
+// publisher serves over HTTP, the user queries and verifies client-side.
+func TestHTTPEndToEnd(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 40, L: 0, U: 1 << 20, PhotoSize: 32, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Ship the snapshot through serialization, as a real publisher would
+	// receive it.
+	blob, err := wire.EncodeRelation(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	remote, err := wire.DecodeRelation(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role := accessctl.Role{Name: "user"}
+	pub := engine.NewPublisher(h, o.PublicKey(), accessctl.NewPolicy(role))
+	if err := pub.AddRelation(remote, true); err != nil {
+		t.Fatal(err)
+	}
+	srv := httptest.NewServer(wire.Handler(pub))
+	defer srv.Close()
+
+	client := &wire.Client{BaseURL: srv.URL}
+	q := engine.Query{Relation: "Emp", KeyLo: 1, KeyHi: 1 << 19}
+	res, err := client.Query("user", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verify.New(h, o.PublicKey(), sr.Params, sr.Schema)
+	rows, err := v.VerifyResult(q, role, res)
+	if err != nil {
+		t.Fatalf("verification over HTTP transport failed: %v", err)
+	}
+	var want int
+	for _, tp := range rel.Tuples {
+		if tp.Key >= 1 && tp.Key <= 1<<19 {
+			want++
+		}
+	}
+	if len(rows) != want {
+		t.Fatalf("rows = %d, want %d", len(rows), want)
+	}
+
+	// Publisher-side errors surface cleanly.
+	if _, err := client.Query("ghost", q); err == nil {
+		t.Fatal("unknown role should error through the transport")
+	}
+	if _, err := client.Query("user", engine.Query{Relation: "Nope"}); err == nil {
+		t.Fatal("unknown relation should error through the transport")
+	}
+}
+
+func TestDecodeRejectsCorruptInput(t *testing.T) {
+	if _, err := wire.DecodeRelation(nil); err == nil {
+		t.Error("nil relation blob accepted")
+	}
+	if _, err := wire.DecodeRelation([]byte("not a gob stream")); err == nil {
+		t.Error("garbage relation blob accepted")
+	}
+	if _, err := wire.DecodeResult([]byte{0x01, 0x02}); err == nil {
+		t.Error("garbage result blob accepted")
+	}
+	// A truncated but once-valid stream must also fail.
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 5, L: 0, U: 1 << 20, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := wire.EncodeRelation(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := wire.DecodeRelation(blob[:len(blob)/2]); err == nil {
+		t.Error("truncated relation blob accepted")
+	}
+}
+
+func TestClientParamsRoundTrip(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 5, L: 0, U: 1 << 20, Seed: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/params.gob"
+	cp := wire.ClientParams{
+		N: o.PublicKey().N, E: o.PublicKey().E,
+		Params: sr.Params, Schema: sr.Schema,
+		Roles: map[string]accessctl.Role{"exec": {Name: "exec", KeyHi: 99}},
+	}
+	if err := wire.WriteClientParams(path, cp); err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.ReadClientParams(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.N.Cmp(cp.N) != 0 || got.E != cp.E || got.Params != cp.Params {
+		t.Fatal("params did not round trip")
+	}
+	if got.Roles["exec"].KeyHi != 99 {
+		t.Fatal("roles did not round trip")
+	}
+	if _, err := wire.ReadClientParams(path + ".missing"); err == nil {
+		t.Fatal("missing params file accepted")
+	}
+}
+
+func TestResultGobRoundTrip(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 10, L: 0, U: 1 << 20, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role := accessctl.Role{Name: "user"}
+	pub := engine.NewPublisher(h, o.PublicKey(), accessctl.NewPolicy(role))
+	if err := pub.AddRelation(sr, false); err != nil {
+		t.Fatal(err)
+	}
+	q := engine.Query{Relation: "Emp"}
+	res, err := pub.Execute("user", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := wire.EncodeResult(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := wire.DecodeResult(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := verify.New(h, o.PublicKey(), sr.Params, sr.Schema)
+	if _, err := v.VerifyResult(q, role, got); err != nil {
+		t.Fatalf("decoded result failed verification: %v", err)
+	}
+}

@@ -1,0 +1,106 @@
+package workload
+
+import (
+	"testing"
+)
+
+func TestEmployeesDeterministic(t *testing.T) {
+	cfg := EmployeeConfig{N: 50, L: 0, U: 1 << 20, PhotoSize: 64, HiddenPct: 20, Seed: 1}
+	a, err := Employees(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Employees(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Len() != 50 || b.Len() != 50 {
+		t.Fatalf("lengths: %d, %d", a.Len(), b.Len())
+	}
+	for i := range a.Tuples {
+		if a.Tuples[i].Key != b.Tuples[i].Key {
+			t.Fatal("same seed must give same keys")
+		}
+	}
+	c, err := Employees(EmployeeConfig{N: 50, L: 0, U: 1 << 20, PhotoSize: 64, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	same := true
+	for i := range a.Tuples {
+		if a.Tuples[i].Key != c.Tuples[i].Key {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds gave identical keys")
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEmployeesHiddenFraction(t *testing.T) {
+	rel, err := Employees(EmployeeConfig{N: 500, L: 0, U: 1 << 20, HiddenPct: 30, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	visIdx := rel.Schema.ColIndex("vis_clerk")
+	hidden := 0
+	for _, tp := range rel.Tuples {
+		if !tp.Attrs[visIdx].Bool {
+			hidden++
+		}
+	}
+	if hidden < 100 || hidden > 200 {
+		t.Fatalf("hidden = %d of 500, expected ~150", hidden)
+	}
+}
+
+func TestStocks(t *testing.T) {
+	rel, err := Stocks(200, 0, 1<<30, nil, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel.Len() != 200 {
+		t.Fatalf("Len = %d", rel.Len())
+	}
+	if err := rel.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRecordSize(t *testing.T) {
+	rel, err := Uniform(UniformConfig{N: 20, L: 0, U: 1 << 20, PayloadSize: 512, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range rel.Tuples {
+		// 8 key bytes + tag/len framing + payload.
+		if tp.Size() < 512 || tp.Size() > 512+32 {
+			t.Fatalf("record size %d, want ~512", tp.Size())
+		}
+	}
+}
+
+func TestRangeQueriesSelectivity(t *testing.T) {
+	qs := RangeQueries(50, 0, 1<<20, 1000, 10, 9)
+	if len(qs) != 50 {
+		t.Fatalf("got %d queries", len(qs))
+	}
+	for _, q := range qs {
+		if q.Lo > q.Hi || q.Lo == 0 || q.Hi >= 1<<20 {
+			t.Fatalf("query [%d,%d] out of domain", q.Lo, q.Hi)
+		}
+	}
+}
+
+func TestZipfKeysInDomain(t *testing.T) {
+	keys := ZipfKeys(1000, 100, 10000, 1.2, 5)
+	for _, k := range keys {
+		if k <= 100 || k >= 10000 {
+			t.Fatalf("zipf key %d outside (100, 10000)", k)
+		}
+	}
+}
