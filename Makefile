@@ -1,0 +1,23 @@
+GO ?= go
+
+.PHONY: all build vet test race bench ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# bench runs the full paper-evaluation + serving benchmark suite.
+bench:
+	$(GO) test -run xxx -bench . -benchmem .
+
+ci: vet build race

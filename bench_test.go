@@ -16,6 +16,7 @@ import (
 	"vcqr/internal/experiments"
 	"vcqr/internal/hashx"
 	"vcqr/internal/relation"
+	"vcqr/internal/server"
 	"vcqr/internal/sig"
 	"vcqr/internal/verify"
 	"vcqr/internal/workload"
@@ -473,6 +474,92 @@ func BenchmarkDeltaApply(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// --- serving layer (internal/server) ---------------------------------------
+
+// serverFixture builds a server over the shared 512-record relation.
+func serverFixture(b *testing.B, cacheSize int) *server.Server {
+	f := sharedFixture(b)
+	e := env(b)
+	s := server.New(server.Config{
+		Hasher:    f.h,
+		Pub:       e.Key.Public(),
+		Policy:    accessctl.NewPolicy(f.role),
+		CacheSize: cacheSize,
+	})
+	b.Cleanup(s.Close)
+	if err := s.AddRelation(f.sr.Clone(), false); err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkServerConcurrentQuery measures serving throughput with many
+// goroutines querying epoch snapshots lock-free (RunParallel scales with
+// -cpu). The query mix rotates over ranges so both cache hits and full
+// VO assemblies occur.
+func BenchmarkServerConcurrentQuery(b *testing.B) {
+	f := sharedFixture(b)
+	s := serverFixture(b, server.DefaultCacheSize)
+	queries := []engine.Query{
+		queryTopQ(b, f, 1), queryTopQ(b, f, 5),
+		queryTopQ(b, f, 10), queryTopQ(b, f, 100),
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		i := 0
+		for pb.Next() {
+			if _, err := s.Query("all", queries[i%len(queries)]); err != nil {
+				b.Error(err)
+				return
+			}
+			i++
+		}
+	})
+	b.StopTimer()
+	st := s.Stats()
+	total := st.Cache.Hits + st.Cache.Misses
+	if total > 0 {
+		b.ReportMetric(100*float64(st.Cache.Hits)/float64(total), "cache-hit-%")
+	}
+}
+
+// BenchmarkServerCachedVO contrasts a hot query served from the VO cache
+// against the same query with caching disabled (full boundary-proof,
+// digest, and aggregation work every time). The cached case must be
+// measurably faster — that gap is what the cache buys on hot ranges.
+func BenchmarkServerCachedVO(b *testing.B) {
+	f := sharedFixture(b)
+	query := queryTopQ(b, f, 100)
+	b.Run("cached", func(b *testing.B) {
+		s := serverFixture(b, server.DefaultCacheSize)
+		if _, err := s.Query("all", query); err != nil { // warm the entry
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query("all", query); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		if s.Stats().Cache.Hits == 0 {
+			b.Fatal("cached run never hit the cache")
+		}
+	})
+	b.Run("uncached", func(b *testing.B) {
+		s := serverFixture(b, -1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := s.Query("all", query); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }
 
 func benchName(prefix string, v int) string {

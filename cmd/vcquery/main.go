@@ -7,14 +7,22 @@
 //
 //	vcquery -url http://localhost:8080 -params params.gob \
 //	        -role manager -lo 1000 -hi 500000 -cols Name,Dept
+//
+// Batch mode sends several ranges in one round trip (served from one
+// epoch snapshot on the publisher) and verifies each result:
+//
+//	vcquery -url http://localhost:8080 -params params.gob \
+//	        -role manager -ranges 1000:2000,500000:900000,1:0
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"strconv"
 	"strings"
 
+	"vcqr/internal/accessctl"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
 	"vcqr/internal/sig"
@@ -29,6 +37,7 @@ func main() {
 	lo := flag.Uint64("lo", 1, "range lower bound (inclusive)")
 	hi := flag.Uint64("hi", 0, "range upper bound (inclusive, 0 = unbounded)")
 	cols := flag.String("cols", "", "comma-separated projection (empty = all columns)")
+	ranges := flag.String("ranges", "", "batch mode: comma-separated lo:hi pairs sent as one batch query")
 	flag.Parse()
 
 	cp, err := wire.ReadClientParams(*paramsPath)
@@ -40,25 +49,81 @@ func main() {
 		log.Fatalf("unknown role %q", *roleName)
 	}
 
-	q := engine.Query{Relation: cp.Schema.Name, KeyLo: *lo, KeyHi: *hi}
+	var project []string
 	if *cols != "" {
-		q.Project = strings.Split(*cols, ",")
+		project = strings.Split(*cols, ",")
 	}
 	client := &wire.Client{BaseURL: *url}
+	h := hashx.New()
+	pub := &sig.PublicKey{N: cp.N, E: cp.E}
+	v := verify.New(h, pub, cp.Params, cp.Schema)
+
+	if *ranges != "" {
+		runBatch(client, v, cp, role, *roleName, *ranges, project)
+		return
+	}
+
+	q := engine.Query{Relation: cp.Schema.Name, KeyLo: *lo, KeyHi: *hi, Project: project}
 	res, err := client.Query(*roleName, q)
 	if err != nil {
 		log.Fatalf("query failed: %v", err)
 	}
-
-	h := hashx.New()
-	pub := &sig.PublicKey{N: cp.N, E: cp.E}
-	v := verify.New(h, pub, cp.Params, cp.Schema)
 	rows, err := v.VerifyResult(q, role, res)
 	if err != nil {
 		log.Fatalf("RESULT REJECTED: %v", err)
 	}
+	printVerified(cp, v, res, rows)
+}
 
-	acc := res.VO.Account(h.Size(), pub.SigBytes())
+// runBatch parses "lo:hi,lo:hi,..." into one batch request, verifies
+// every result independently, and reports per-range outcomes. Exits
+// non-zero if any result is rejected.
+func runBatch(client *wire.Client, v *verify.Verifier, cp wire.ClientParams, role accessctl.Role, roleName, spec string, project []string) {
+	var qs []engine.Query
+	for _, part := range strings.Split(spec, ",") {
+		loHi := strings.SplitN(part, ":", 2)
+		if len(loHi) != 2 {
+			log.Fatalf("bad range %q (want lo:hi)", part)
+		}
+		lo, err := strconv.ParseUint(strings.TrimSpace(loHi[0]), 10, 64)
+		if err != nil {
+			log.Fatalf("bad range %q: %v", part, err)
+		}
+		hi, err := strconv.ParseUint(strings.TrimSpace(loHi[1]), 10, 64)
+		if err != nil {
+			log.Fatalf("bad range %q: %v", part, err)
+		}
+		qs = append(qs, engine.Query{Relation: cp.Schema.Name, KeyLo: lo, KeyHi: hi, Project: project})
+	}
+	results, errs, err := client.QueryBatch(roleName, qs)
+	if err != nil {
+		log.Fatalf("batch failed: %v", err)
+	}
+	rejected := 0
+	for i, res := range results {
+		if errs[i] != nil {
+			fmt.Printf("[%d] [%d, %d] publisher error: %v\n", i, qs[i].KeyLo, qs[i].KeyHi, errs[i])
+			rejected++
+			continue
+		}
+		rows, err := v.VerifyResult(qs[i], role, res)
+		if err != nil {
+			fmt.Printf("[%d] [%d, %d] REJECTED: %v\n", i, qs[i].KeyLo, qs[i].KeyHi, err)
+			rejected++
+			continue
+		}
+		acc := res.VO.Account(v.H.Size(), v.Pub.SigBytes())
+		fmt.Printf("[%d] [%d, %d] VERIFIED: %d rows, %d bytes auth traffic\n",
+			i, res.Effective.KeyLo, res.Effective.KeyHi, len(rows), acc.Bytes())
+	}
+	if rejected > 0 {
+		log.Fatalf("%d of %d batch results rejected", rejected, len(results))
+	}
+}
+
+// printVerified reports one verified single-query result.
+func printVerified(cp wire.ClientParams, v *verify.Verifier, res *engine.Result, rows []engine.Row) {
+	acc := res.VO.Account(v.H.Size(), v.Pub.SigBytes())
 	fmt.Printf("result VERIFIED: %d rows complete and authentic for %s in [%d, %d]\n",
 		len(rows), cp.Schema.KeyName, res.Effective.KeyLo, res.Effective.KeyHi)
 	fmt.Printf("VO: %d digests + %d signature(s) = %d bytes authentication traffic\n",

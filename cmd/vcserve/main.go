@@ -1,7 +1,13 @@
-// Command vcserve runs a publisher server for the Figure 3 deployment.
-// It either loads a pre-signed snapshot produced by vcsign (-load; the
-// realistic mode: the publisher never holds the signing key) or plays
-// both roles and generates a signed employee relation in-process.
+// Command vcserve runs a concurrent publisher server (internal/server)
+// for the Figure 3 deployment. It either loads a pre-signed snapshot
+// produced by vcsign (-load; the realistic mode: the publisher never
+// holds the signing key) or plays both roles and generates a signed
+// employee relation in-process.
+//
+// The server is goroutine-safe, caches assembled VOs in an LRU, applies
+// owner deltas live on POST /delta, and shuts down gracefully on
+// SIGINT/SIGTERM. Endpoints: /query, /batch, /delta, /healthz, /statsz,
+// /debug/vars.
 //
 // Usage:
 //
@@ -12,17 +18,20 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
-	"net/http"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
-	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
 	"vcqr/internal/owner"
+	"vcqr/internal/server"
 	"vcqr/internal/sig"
 	"vcqr/internal/wire"
 	"vcqr/internal/workload"
@@ -34,6 +43,7 @@ func main() {
 	n := flag.Int("n", 500, "records to generate when -load is empty")
 	seed := flag.Int64("seed", 1, "workload seed when -load is empty")
 	paramsPath := flag.String("params", "params.gob", "client parameters file (read with -load, written otherwise)")
+	cacheSize := flag.Int("cache", server.DefaultCacheSize, "VO cache entries (negative disables)")
 	flag.Parse()
 
 	h := hashx.New()
@@ -92,10 +102,36 @@ func main() {
 	for _, r := range cp.Roles {
 		roles = append(roles, r)
 	}
-	p := engine.NewPublisher(h, pub, accessctl.NewPolicy(roles...))
-	if err := p.AddRelation(sr, true); err != nil {
+	s := server.New(server.Config{
+		Hasher:    h,
+		Pub:       pub,
+		Policy:    accessctl.NewPolicy(roles...),
+		CacheSize: *cacheSize,
+	})
+	if err := s.AddRelation(sr, true); err != nil {
 		log.Fatalf("snapshot failed ingest validation: %v", err)
 	}
-	fmt.Printf("publisher serving %q (%d records) on %s\n", sr.Schema.Name, sr.Len(), *addr)
-	log.Fatal(http.ListenAndServe(*addr, wire.Handler(p)))
+
+	hs, err := server.Serve(*addr, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("publisher serving %q (%d records) on %s\n", sr.Schema.Name, sr.Len(), hs.Addr())
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-stop:
+	case <-hs.Done():
+		log.Fatalf("server terminated: %v", hs.Err())
+	}
+	log.Printf("shutting down (draining in-flight requests)...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+	st := s.Stats()
+	log.Printf("served %d queries (%d batches, %d deltas, cache %d/%d hits); bye",
+		st.Queries, st.Batches, st.DeltasApplied, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)
 }

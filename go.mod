@@ -1,0 +1,3 @@
+module vcqr
+
+go 1.24

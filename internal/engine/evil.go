@@ -49,7 +49,7 @@ func Attacks() []string {
 // Execute runs the query honestly and then applies the named attack to
 // the result. The returned result is what a cheating publisher would send.
 func (a *Adversary) Execute(roleName string, q Query, attack string) (*Result, error) {
-	sr, ok := a.p.rels[q.Relation]
+	sr, ok := a.p.Relation(q.Relation)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.Relation)
 	}

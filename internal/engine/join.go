@@ -37,9 +37,19 @@ type JoinedRow struct {
 	SRow Row
 }
 
-// ExecuteJoin answers a PK-FK join for a role.
+// ExecuteJoin answers a PK-FK join for a role. Both relations are
+// resolved once up front so a concurrent AddRelation swap cannot mix two
+// snapshot generations within one join result.
 func (p *Publisher) ExecuteJoin(roleName string, q JoinQuery) (*JoinResult, error) {
-	rRes, err := p.Execute(roleName, Query{
+	rRel, ok := p.Relation(q.R)
+	if !ok {
+		return nil, fmt.Errorf("engine: join R side: %w: %q", ErrUnknownRelation, q.R)
+	}
+	sRel, ok := p.Relation(q.S)
+	if !ok {
+		return nil, fmt.Errorf("engine: join S side: %w: %q", ErrUnknownRelation, q.S)
+	}
+	rRes, err := p.ExecuteOn(rRel, roleName, Query{
 		Relation: q.R, KeyLo: q.KeyLo, KeyHi: q.KeyHi, Project: q.RProject,
 	})
 	if err != nil {
@@ -50,7 +60,7 @@ func (p *Publisher) ExecuteJoin(roleName string, q JoinQuery) (*JoinResult, erro
 		if _, done := out.S[row.Key]; done {
 			continue
 		}
-		sRes, err := p.Execute(roleName, Query{
+		sRes, err := p.ExecuteOn(sRel, roleName, Query{
 			Relation: q.S, KeyLo: row.Key, KeyHi: row.Key, Project: q.SProject,
 		})
 		if err != nil {
@@ -90,11 +100,11 @@ type BandJoinResult struct {
 
 // ExecuteBandJoin answers R.key <= S.key for a role.
 func (p *Publisher) ExecuteBandJoin(roleName string, q BandJoinQuery) (*BandJoinResult, error) {
-	rRel, ok := p.rels[q.R]
+	rRel, ok := p.Relation(q.R)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.R)
 	}
-	sRel, ok := p.rels[q.S]
+	sRel, ok := p.Relation(q.S)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.S)
 	}
@@ -114,24 +124,24 @@ func (p *Publisher) ExecuteBandJoin(roleName string, q BandJoinQuery) (*BandJoin
 		res := &BandJoinResult{Empty: true, Pivot: pivot}
 		var err error
 		if pivot+1 <= sRel.Params.U-1 {
-			res.SEmpty, err = p.Execute(roleName, Query{Relation: q.S, KeyLo: pivot + 1})
+			res.SEmpty, err = p.ExecuteOn(sRel, roleName, Query{Relation: q.S, KeyLo: pivot + 1})
 			if err != nil {
 				return nil, fmt.Errorf("engine: band join S-empty proof: %w", err)
 			}
 		}
 		if pivot >= rRel.Params.L+1 {
-			res.REmpty, err = p.Execute(roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: pivot})
+			res.REmpty, err = p.ExecuteOn(rRel, roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: pivot})
 			if err != nil {
 				return nil, fmt.Errorf("engine: band join R-empty proof: %w", err)
 			}
 		}
 		return res, nil
 	}
-	rRes, err := p.Execute(roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: maxS, Project: q.RProject})
+	rRes, err := p.ExecuteOn(rRel, roleName, Query{Relation: q.R, KeyLo: rRel.Params.L + 1, KeyHi: maxS, Project: q.RProject})
 	if err != nil {
 		return nil, fmt.Errorf("engine: band join R partition: %w", err)
 	}
-	sRes, err := p.Execute(roleName, Query{Relation: q.S, KeyLo: minR, Project: q.SProject})
+	sRes, err := p.ExecuteOn(sRel, roleName, Query{Relation: q.S, KeyLo: minR, Project: q.SProject})
 	if err != nil {
 		return nil, fmt.Errorf("engine: band join S partition: %w", err)
 	}

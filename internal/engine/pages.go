@@ -31,7 +31,7 @@ func (p *Publisher) ExecutePaged(roleName string, q Query, pageSize int) (*Paged
 	if pageSize <= 0 {
 		return nil, fmt.Errorf("engine: page size %d", pageSize)
 	}
-	sr, ok := p.rels[q.Relation]
+	sr, ok := p.Relation(q.Relation)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.Relation)
 	}

@@ -3,6 +3,7 @@ package engine
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
@@ -15,11 +16,24 @@ import (
 // queries with verification objects. It is deliberately *able* to cheat —
 // see evil.go — because the system's guarantee is that cheating is
 // detected by the user, not prevented at the publisher.
+//
+// Concurrency contract: AddRelation, Relation, Execute, ExecuteJoin and
+// ExecuteUnion may be called from multiple goroutines; the relation
+// registry is guarded by an internal RWMutex. The *contents* of a hosted
+// *core.SignedRelation must not be mutated while queries run — callers
+// that apply live updates (internal/delta) must either serialize updates
+// with queries or swap in a fresh copy via AddRelation, never modify a
+// registered relation in place. internal/server implements the
+// copy-on-write epoch discipline on top of this contract. The Aggregate
+// flag is read without synchronization and must be set before the
+// publisher is shared.
 type Publisher struct {
 	h      *hashx.Hasher
 	pub    *sig.PublicKey
 	policy accessctl.Policy
-	rels   map[string]*core.SignedRelation
+
+	mu   sync.RWMutex
+	rels map[string]*core.SignedRelation
 
 	// Aggregate selects condensed signatures (Section 5.2, default) over
 	// one-signature-per-entry VOs.
@@ -46,13 +60,17 @@ func (p *Publisher) AddRelation(sr *core.SignedRelation, validate bool) error {
 			return fmt.Errorf("engine: ingest validation: %w", err)
 		}
 	}
+	p.mu.Lock()
 	p.rels[sr.Schema.Name] = sr
+	p.mu.Unlock()
 	return nil
 }
 
 // Relation returns a hosted relation by name.
 func (p *Publisher) Relation(name string) (*core.SignedRelation, bool) {
+	p.mu.RLock()
 	sr, ok := p.rels[name]
+	p.mu.RUnlock()
 	return sr, ok
 }
 
@@ -62,10 +80,19 @@ func (p *Publisher) Relation(name string) (*core.SignedRelation, bool) {
 // *rewritten* range, so nothing outside the user's rights is disclosed,
 // not even as boundary records.
 func (p *Publisher) Execute(roleName string, q Query) (*Result, error) {
-	sr, ok := p.rels[q.Relation]
+	sr, ok := p.Relation(q.Relation)
 	if !ok {
 		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.Relation)
 	}
+	return p.ExecuteOn(sr, roleName, q)
+}
+
+// ExecuteOn runs a query against an explicitly supplied relation snapshot
+// instead of the internal registry. This is the seam a serving layer uses
+// to pin one copy-on-write epoch for the duration of a query while
+// updates swap in new epochs concurrently (see internal/server). The
+// snapshot must not be mutated while the call runs.
+func (p *Publisher) ExecuteOn(sr *core.SignedRelation, roleName string, q Query) (*Result, error) {
 	role, err := p.policy.Role(roleName)
 	if err != nil {
 		return nil, err

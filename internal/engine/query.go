@@ -3,6 +3,13 @@
 // incoming queries to comply with access-control policies, executes
 // select-project-join queries, and assembles the verification objects of
 // Sections 3–5 that accompany every result.
+//
+// Concurrency: Publisher is safe for concurrent queries and relation
+// registration (the registry is RWMutex-guarded), but registered
+// relations are treated as immutable snapshots — live updates must swap
+// in a fresh copy rather than mutate in place. See the Publisher type
+// comment for the full contract; internal/server builds lock-free
+// epoch-snapshot serving on top of it.
 package engine
 
 import (

@@ -62,10 +62,15 @@ type UnionResult struct {
 
 // ExecuteUnion answers a union query: one VO per member range. Ranges
 // must be non-overlapping and ascending so the result rows concatenate
-// into key order and no tuple can be double-counted.
+// into key order and no tuple can be double-counted. The relation is
+// resolved once so all members answer from one snapshot generation.
 func (p *Publisher) ExecuteUnion(roleName string, uq UnionQuery) (*UnionResult, error) {
 	if len(uq.Ranges) == 0 {
 		return nil, fmt.Errorf("engine: union query needs at least one range")
+	}
+	sr, ok := p.Relation(uq.Relation)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, uq.Relation)
 	}
 	for i, r := range uq.Ranges {
 		if r.Lo > r.Hi {
@@ -77,7 +82,7 @@ func (p *Publisher) ExecuteUnion(roleName string, uq UnionQuery) (*UnionResult, 
 	}
 	out := &UnionResult{Members: make([]*Result, len(uq.Ranges))}
 	for i, r := range uq.Ranges {
-		res, err := p.Execute(roleName, uq.memberQuery(r))
+		res, err := p.ExecuteOn(sr, roleName, uq.memberQuery(r))
 		if errors.Is(err, ErrEmptyRewrite) {
 			continue // range entirely outside the caller's rights
 		}

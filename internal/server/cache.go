@@ -1,0 +1,131 @@
+package server
+
+import (
+	"container/list"
+	"strconv"
+	"strings"
+	"sync"
+
+	"vcqr/internal/engine"
+)
+
+// CacheKey identifies one cacheable VO: the relation, the querying role,
+// the full query shape, and the epoch the VO was assembled on. Binding
+// the epoch means a delta cutover implicitly invalidates every cached
+// entry for that relation — stale epochs simply stop being asked for and
+// age out of the LRU.
+func cacheKey(epoch uint64, role string, q engine.Query) string {
+	var b strings.Builder
+	b.Grow(64)
+	b.WriteString(q.Relation)
+	b.WriteByte(0)
+	b.WriteString(role)
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(epoch, 10))
+	b.WriteByte(0)
+	b.WriteString(strconv.FormatUint(q.KeyLo, 10))
+	b.WriteByte('-')
+	b.WriteString(strconv.FormatUint(q.KeyHi, 10))
+	if q.Distinct {
+		b.WriteString("|d")
+	}
+	for _, c := range q.Project {
+		b.WriteString("|p:")
+		b.WriteString(c)
+	}
+	for _, f := range q.Filters {
+		b.WriteString("|f:")
+		b.WriteString(f.Col)
+		b.WriteString(f.Op.String())
+		b.Write(f.Val.Encode())
+	}
+	return b.String()
+}
+
+// voCache is a size-bounded LRU of assembled query results. Cached
+// *engine.Result values are shared between goroutines and must be
+// treated as immutable by everyone — the server hands them straight to
+// the encoder and never mutates a result after Execute returns.
+type voCache struct {
+	mu      sync.Mutex
+	cap     int
+	order   *list.List // front = most recent; values are *cacheEntry
+	entries map[string]*list.Element
+
+	hits, misses, evictions uint64
+}
+
+type cacheEntry struct {
+	key string
+	res *engine.Result
+}
+
+// newVOCache creates a cache bounded to cap entries; cap <= 0 disables
+// caching (every Get misses, Put is a no-op).
+func newVOCache(cap int) *voCache {
+	return &voCache{
+		cap:     cap,
+		order:   list.New(),
+		entries: make(map[string]*list.Element),
+	}
+}
+
+// Get returns the cached result for the key, promoting it to
+// most-recently-used.
+func (c *voCache) Get(key string) (*engine.Result, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	el, ok := c.entries[key]
+	if !ok {
+		c.misses++
+		return nil, false
+	}
+	c.hits++
+	c.order.MoveToFront(el)
+	return el.Value.(*cacheEntry).res, true
+}
+
+// Put inserts a result, evicting the least-recently-used entry when the
+// cache is full.
+func (c *voCache) Put(key string, res *engine.Result) {
+	if c.cap <= 0 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if el, ok := c.entries[key]; ok {
+		el.Value.(*cacheEntry).res = res
+		c.order.MoveToFront(el)
+		return
+	}
+	for c.order.Len() >= c.cap {
+		oldest := c.order.Back()
+		c.order.Remove(oldest)
+		delete(c.entries, oldest.Value.(*cacheEntry).key)
+		c.evictions++
+	}
+	c.entries[key] = c.order.PushFront(&cacheEntry{key: key, res: res})
+}
+
+// Len returns the current entry count.
+func (c *voCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}
+
+// CacheStats is a point-in-time counter snapshot.
+type CacheStats struct {
+	Entries, Capacity       int
+	Hits, Misses, Evictions uint64
+}
+
+// Stats snapshots the counters.
+func (c *voCache) Stats() CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return CacheStats{
+		Entries: c.order.Len(), Capacity: c.cap,
+		Hits: c.hits, Misses: c.misses, Evictions: c.evictions,
+	}
+}

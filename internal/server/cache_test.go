@@ -1,0 +1,91 @@
+package server
+
+import (
+	"testing"
+
+	"vcqr/internal/engine"
+	"vcqr/internal/relation"
+)
+
+func TestVOCacheHitAndEviction(t *testing.T) {
+	c := newVOCache(2)
+	r1, r2, r3 := &engine.Result{}, &engine.Result{}, &engine.Result{}
+
+	c.Put("a", r1)
+	c.Put("b", r2)
+	if got, ok := c.Get("a"); !ok || got != r1 {
+		t.Fatal("expected hit for a")
+	}
+	// "a" is now most recent; inserting "c" must evict "b".
+	c.Put("c", r3)
+	if _, ok := c.Get("b"); ok {
+		t.Fatal("b should have been evicted (LRU)")
+	}
+	if got, ok := c.Get("c"); !ok || got != r3 {
+		t.Fatal("expected hit for c")
+	}
+	if got, ok := c.Get("a"); !ok || got != r1 {
+		t.Fatal("a should have survived eviction")
+	}
+
+	st := c.Stats()
+	if st.Entries != 2 || st.Capacity != 2 {
+		t.Fatalf("entries/capacity = %d/%d", st.Entries, st.Capacity)
+	}
+	if st.Hits != 3 || st.Misses != 1 || st.Evictions != 1 {
+		t.Fatalf("hits/misses/evictions = %d/%d/%d", st.Hits, st.Misses, st.Evictions)
+	}
+}
+
+func TestVOCacheDisabled(t *testing.T) {
+	c := newVOCache(-1)
+	c.Put("a", &engine.Result{})
+	if _, ok := c.Get("a"); ok {
+		t.Fatal("disabled cache must not store")
+	}
+}
+
+func TestVOCacheUpdateExisting(t *testing.T) {
+	c := newVOCache(2)
+	r1, r2 := &engine.Result{}, &engine.Result{}
+	c.Put("a", r1)
+	c.Put("a", r2)
+	if c.Len() != 1 {
+		t.Fatalf("len = %d after double put", c.Len())
+	}
+	if got, _ := c.Get("a"); got != r2 {
+		t.Fatal("second put should replace the entry")
+	}
+}
+
+func TestCacheKeyDiscriminates(t *testing.T) {
+	base := engine.Query{Relation: "R", KeyLo: 1, KeyHi: 100}
+	proj := base
+	proj.Project = []string{"Name"}
+	filt := base
+	filt.Filters = []engine.Filter{{Col: "Dept", Op: engine.OpEq, Val: relation.StringVal("x")}}
+	dist := base
+	dist.Distinct = true
+	narrower := base
+	narrower.KeyHi = 99
+
+	keys := map[string]string{
+		"base":        cacheKey(1, "all", base),
+		"other-epoch": cacheKey(2, "all", base),
+		"other-role":  cacheKey(1, "clerk", base),
+		"projected":   cacheKey(1, "all", proj),
+		"filtered":    cacheKey(1, "all", filt),
+		"distinct":    cacheKey(1, "all", dist),
+		"narrower":    cacheKey(1, "all", narrower),
+	}
+	seen := map[string]string{}
+	for name, k := range keys {
+		if prev, dup := seen[k]; dup {
+			t.Fatalf("cache key collision between %s and %s", prev, name)
+		}
+		seen[k] = name
+	}
+	if cacheKey(1, "all", base) != keys["base"] {
+		t.Fatal("cache key not deterministic")
+	}
+}

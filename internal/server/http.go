@@ -1,0 +1,179 @@
+package server
+
+import (
+	"context"
+	"encoding/gob"
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"vcqr/internal/delta"
+	"vcqr/internal/wire"
+)
+
+// Handler returns the server's HTTP API:
+//
+//	POST /query       gob wire.Request       -> gob wire.Response
+//	POST /batch       gob wire.BatchRequest  -> gob wire.BatchResponse
+//	POST /delta       gob delta.Delta        -> gob wire.DeltaResponse
+//	GET  /healthz     "ok"
+//	GET  /statsz      JSON Stats snapshot
+//	GET  /debug/vars  expvar (includes the vcqr_server aggregate)
+//
+// All integrity still comes from the VOs — nothing here is trusted by
+// clients, so the transport needs no hardening beyond basic hygiene.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/query", capBody(maxQueryBody, wire.QueryHandler(s.Query)))
+	mux.Handle("/batch", capBody(maxBatchBody, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var req wire.BatchRequest
+		if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		results, errs := s.QueryBatch(req.Role, req.Queries)
+		resp := wire.BatchResponse{Items: make([]wire.Response, len(results))}
+		for i := range results {
+			if errs[i] != nil {
+				resp.Items[i].Err = errs[i].Error()
+			} else {
+				resp.Items[i].Result = results[i]
+			}
+		}
+		writeGob(w, resp)
+	})))
+	mux.Handle("/delta", capBody(maxDeltaBody, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var resp wire.DeltaResponse
+		blob, err := io.ReadAll(r.Body)
+		if err == nil {
+			var d delta.Delta
+			d, err = wire.DecodeDelta(blob)
+			if err == nil {
+				var epoch uint64
+				epoch, err = s.ApplyDelta(d)
+				resp.Epoch = epoch
+			}
+		}
+		if err != nil {
+			resp.Err = err.Error()
+		}
+		writeGob(w, resp)
+	})))
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(s.Stats())
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	return mux
+}
+
+func writeGob(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := gob.NewEncoder(w).Encode(v); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
+// Request body caps. Queries and batches are small by construction; a
+// delta batch legitimately carries signed records but still bounded —
+// anything larger than this should ship as a snapshot, not a delta.
+const (
+	maxQueryBody = 1 << 20
+	maxBatchBody = 8 << 20
+	maxDeltaBody = 256 << 20
+)
+
+// capBody bounds an untrusted request body so one client cannot buffer
+// the publisher into OOM.
+func capBody(limit int64, next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		r.Body = http.MaxBytesReader(w, r.Body, limit)
+		next.ServeHTTP(w, r)
+	})
+}
+
+// HTTPServer is a running listener over a Server, with graceful
+// shutdown: Shutdown stops accepting, drains in-flight requests, and
+// unregisters the server's stats.
+type HTTPServer struct {
+	srv  *Server
+	hs   *http.Server
+	addr net.Addr
+
+	serveErr error // written before done closes
+	done     chan struct{}
+
+	shutdownOnce sync.Once
+	shutdownErr  error
+}
+
+// Serve starts listening on addr (":0" picks a free port) and serves in
+// a background goroutine.
+func Serve(addr string, s *Server) (*HTTPServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("server: listen: %w", err)
+	}
+	hs := &http.Server{Handler: s.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	out := &HTTPServer{srv: s, hs: hs, addr: ln.Addr(), done: make(chan struct{})}
+	go func() {
+		err := hs.Serve(ln)
+		if err == http.ErrServerClosed {
+			err = nil
+		}
+		out.serveErr = err
+		close(out.done)
+	}()
+	return out, nil
+}
+
+// Addr returns the bound listen address.
+func (h *HTTPServer) Addr() string { return h.addr.String() }
+
+// Done is closed when the serve loop exits — on graceful shutdown or on
+// a fatal accept error. Callers supervising the server select on it
+// alongside their signal handling; Err reports why it closed.
+func (h *HTTPServer) Done() <-chan struct{} { return h.done }
+
+// Err returns the serve loop's terminal error (nil after a clean
+// shutdown). Only meaningful once Done is closed.
+func (h *HTTPServer) Err() error {
+	select {
+	case <-h.done:
+		return h.serveErr
+	default:
+		return nil
+	}
+}
+
+// Shutdown drains in-flight requests until ctx expires, then closes the
+// listener and unregisters the server from the stats aggregate. Safe to
+// call more than once; later calls return the first call's result.
+func (h *HTTPServer) Shutdown(ctx context.Context) error {
+	h.shutdownOnce.Do(func() {
+		err := h.hs.Shutdown(ctx)
+		<-h.done
+		if err == nil {
+			err = h.serveErr
+		}
+		h.srv.Close()
+		h.shutdownErr = err
+	})
+	return h.shutdownErr
+}

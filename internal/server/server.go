@@ -1,0 +1,246 @@
+// Package server is the concurrent publisher-serving subsystem of the
+// Figure 3 deployment: the layer that turns the single-threaded
+// engine.Publisher reproduction into a system that serves many users at
+// once while the owner streams updates.
+//
+// Three mechanisms make it safe and fast under concurrency:
+//
+//   - Sharded copy-on-write epochs (Store): readers load an immutable
+//     snapshot through an atomic pointer — no read locks — while writers
+//     clone, validate, and swap. The paper's security argument is what
+//     makes the old epoch servable during a cutover: any internally
+//     consistent signed relation yields VOs that verify against the
+//     owner's key, regardless of when the user reads them.
+//
+//   - Live delta ingest (Store.ApplyDelta): internal/delta batches are
+//     applied to a clone with exactly the affected neighbourhood
+//     re-validated, then cut over atomically. A rejected delta leaves
+//     the published epoch untouched.
+//
+//   - A VO cache (voCache): assembling a VO costs boundary proofs,
+//     per-entry digests, and an RSA aggregation; hot queries skip all of
+//     it. Keys include the epoch, so a cutover invalidates implicitly —
+//     stale entries age out of the LRU instead of needing purge logic.
+//
+// The HTTP front end (http.go) exposes query, batch-query, delta-ingest
+// and health/stats endpoints and shuts down gracefully.
+package server
+
+import (
+	"expvar"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/delta"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	Hasher *hashx.Hasher
+	Pub    *sig.PublicKey
+	Policy accessctl.Policy
+	// CacheSize bounds the VO cache in entries; 0 means DefaultCacheSize,
+	// negative disables caching.
+	CacheSize int
+	// Individual switches the executor to one-signature-per-entry VOs
+	// (the pre-Section-5.2 mode); default is condensed signatures.
+	Individual bool
+}
+
+// DefaultCacheSize is the VO-cache bound when Config.CacheSize is 0.
+const DefaultCacheSize = 1024
+
+// Server is a goroutine-safe publisher: an epoch store, a stateless
+// query executor, and a VO cache. All exported methods may be called
+// concurrently.
+type Server struct {
+	h     *hashx.Hasher
+	exec  *engine.Publisher
+	store *Store
+	cache *voCache
+
+	queries, batches, deltasApplied, errors atomic.Uint64
+}
+
+// New creates a server. The executor publisher carries no relations of
+// its own — every query pins an epoch snapshot from the store and runs
+// through engine.ExecuteOn.
+func New(cfg Config) *Server {
+	if cfg.Hasher == nil {
+		cfg.Hasher = hashx.New()
+	}
+	size := cfg.CacheSize
+	if size == 0 {
+		size = DefaultCacheSize
+	}
+	exec := engine.NewPublisher(cfg.Hasher, cfg.Pub, cfg.Policy)
+	exec.Aggregate = !cfg.Individual
+	s := &Server{
+		h:     cfg.Hasher,
+		exec:  exec,
+		store: NewStore(cfg.Hasher, cfg.Pub),
+		cache: newVOCache(size),
+	}
+	register(s)
+	return s
+}
+
+// Close unregisters the server from the process-wide expvar aggregate.
+func (s *Server) Close() { unregister(s) }
+
+// AddRelation publishes a relation snapshot (optionally validating every
+// signature first, as a publisher receiving an untrusted feed must).
+func (s *Server) AddRelation(sr *core.SignedRelation, validate bool) error {
+	return s.store.AddRelation(sr, validate)
+}
+
+// ApplyDelta ingests an owner update batch live and returns the new
+// epoch. Concurrent queries are never blocked: in-flight ones finish on
+// the pre-delta snapshot, later ones see the post-delta epoch, and both
+// produce VOs that verify.
+func (s *Server) ApplyDelta(d delta.Delta) (uint64, error) {
+	epoch, err := s.store.ApplyDelta(d)
+	if err != nil {
+		s.errors.Add(1)
+		return 0, err
+	}
+	s.deltasApplied.Add(1)
+	return epoch, nil
+}
+
+// Query answers one select-project query for a role, serving from the
+// VO cache when the same (relation, role, query, epoch) was assembled
+// before.
+func (s *Server) Query(role string, q engine.Query) (*engine.Result, error) {
+	s.queries.Add(1)
+	sr, epoch, ok := s.store.View(q.Relation)
+	if !ok {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
+	}
+	return s.queryOn(sr, epoch, role, q)
+}
+
+// queryOn answers one query against a pinned epoch snapshot, through
+// the VO cache.
+func (s *Server) queryOn(sr *core.SignedRelation, epoch uint64, role string, q engine.Query) (*engine.Result, error) {
+	key := cacheKey(epoch, role, q)
+	if res, ok := s.cache.Get(key); ok {
+		return res, nil
+	}
+	res, err := s.exec.ExecuteOn(sr, role, q)
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	s.cache.Put(key, res)
+	return res, nil
+}
+
+// pinned is one relation snapshot held for the duration of a batch.
+type pinned struct {
+	sr    *core.SignedRelation
+	epoch uint64
+	ok    bool
+}
+
+// QueryBatch answers several queries for one role in a single call.
+// Each relation's snapshot is pinned on first use, so every query
+// touching the same relation is answered on one epoch even if a delta
+// cutover lands mid-batch — the cross-range consistency the batch API
+// exists for. Per-item failures do not fail the batch: results[i] is
+// nil exactly when errs[i] is non-nil.
+func (s *Server) QueryBatch(role string, qs []engine.Query) ([]*engine.Result, []error) {
+	s.batches.Add(1)
+	results := make([]*engine.Result, len(qs))
+	errs := make([]error, len(qs))
+	pins := map[string]pinned{}
+	for i, q := range qs {
+		s.queries.Add(1)
+		pin, seen := pins[q.Relation]
+		if !seen {
+			pin.sr, pin.epoch, pin.ok = s.store.View(q.Relation)
+			pins[q.Relation] = pin
+		}
+		if !pin.ok {
+			s.errors.Add(1)
+			errs[i] = fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
+			continue
+		}
+		results[i], errs[i] = s.queryOn(pin.sr, pin.epoch, role, q)
+	}
+	return results, errs
+}
+
+// Epoch returns the store's cutover counter.
+func (s *Server) Epoch() uint64 { return s.store.Epoch() }
+
+// Stats is a point-in-time server snapshot, served on /statsz and
+// aggregated into the process expvar.
+type Stats struct {
+	Queries, Batches, DeltasApplied, Errors uint64
+	Epoch                                   uint64
+	Relations                               map[string]int
+	Cache                                   CacheStats
+}
+
+// Stats snapshots the counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Queries:       s.queries.Load(),
+		Batches:       s.batches.Load(),
+		DeltasApplied: s.deltasApplied.Load(),
+		Errors:        s.errors.Load(),
+		Epoch:         s.store.Epoch(),
+		Relations:     s.store.Relations(),
+		Cache:         s.cache.Stats(),
+	}
+}
+
+// --- process-wide expvar aggregation ---------------------------------
+
+var (
+	registryMu sync.Mutex
+	registry   = map[*Server]struct{}{}
+	publishVar sync.Once
+)
+
+// register adds the server to the expvar aggregate. The expvar name is
+// published once per process (expvar panics on duplicates), so tests may
+// create as many servers as they like.
+func register(s *Server) {
+	publishVar.Do(func() {
+		expvar.Publish("vcqr_server", expvar.Func(func() any {
+			registryMu.Lock()
+			defer registryMu.Unlock()
+			var agg Stats
+			for srv := range registry {
+				st := srv.Stats()
+				agg.Queries += st.Queries
+				agg.Batches += st.Batches
+				agg.DeltasApplied += st.DeltasApplied
+				agg.Errors += st.Errors
+				agg.Cache.Hits += st.Cache.Hits
+				agg.Cache.Misses += st.Cache.Misses
+				agg.Cache.Evictions += st.Cache.Evictions
+				agg.Cache.Entries += st.Cache.Entries
+			}
+			return agg
+		}))
+	})
+	registryMu.Lock()
+	registry[s] = struct{}{}
+	registryMu.Unlock()
+}
+
+func unregister(s *Server) {
+	registryMu.Lock()
+	delete(registry, s)
+	registryMu.Unlock()
+}

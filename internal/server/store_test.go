@@ -1,0 +1,176 @@
+package server_test
+
+import (
+	"sync"
+	"testing"
+
+	"vcqr/internal/core"
+	"vcqr/internal/delta"
+	"vcqr/internal/hashx"
+	"vcqr/internal/relation"
+	"vcqr/internal/server"
+	"vcqr/internal/sig"
+	"vcqr/internal/workload"
+)
+
+var (
+	keyOnce  sync.Once
+	ownerKey *sig.PrivateKey
+)
+
+func signKey(t testing.TB) *sig.PrivateKey {
+	keyOnce.Do(func() {
+		k, err := sig.Generate(sig.DefaultBits, nil)
+		if err != nil {
+			t.Fatalf("keygen: %v", err)
+		}
+		ownerKey = k
+	})
+	return ownerKey
+}
+
+// build signs an n-record uniform relation (single Payload column).
+func build(t testing.TB, n int) (*hashx.Hasher, *core.SignedRelation) {
+	t.Helper()
+	h := hashx.New()
+	rel, err := workload.Uniform(workload.UniformConfig{
+		N: n, L: 0, U: 1 << 20, PayloadSize: 16, Seed: 7,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewParams(0, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.Build(h, signKey(t), p, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return h, sr
+}
+
+// ownerUpdate mutates one record on an owner copy and returns the delta
+// a publisher would receive.
+func ownerUpdate(t testing.TB, h *hashx.Hasher, ownerCopy *core.SignedRelation, idx int, payload []byte) delta.Delta {
+	t.Helper()
+	before := ownerCopy.Clone()
+	rec := ownerCopy.Recs[idx]
+	if _, err := ownerCopy.UpdateAttrs(h, signKey(t), rec.Key(), rec.Tuple.RowID,
+		[]relation.Value{relation.BytesVal(payload)}); err != nil {
+		t.Fatal(err)
+	}
+	return delta.Diff(before, ownerCopy)
+}
+
+func TestStoreViewAndEpochCutover(t *testing.T) {
+	h, sr := build(t, 32)
+	ownerCopy := sr.Clone()
+	st := server.NewStore(h, signKey(t).Public())
+
+	if _, _, ok := st.View("Uniform"); ok {
+		t.Fatal("empty store should not host Uniform")
+	}
+	if err := st.AddRelation(sr, true); err != nil {
+		t.Fatal(err)
+	}
+	old, epoch0, ok := st.View("Uniform")
+	if !ok || epoch0 == 0 {
+		t.Fatalf("View after add: ok=%v epoch=%d", ok, epoch0)
+	}
+
+	d := ownerUpdate(t, h, ownerCopy, 3, []byte("new-payload"))
+	epoch1, err := st.ApplyDelta(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if epoch1 <= epoch0 {
+		t.Fatalf("epoch did not advance: %d -> %d", epoch0, epoch1)
+	}
+
+	// The pre-delta snapshot we pinned is untouched (copy-on-write): its
+	// record 3 still carries the original payload.
+	cur, _, _ := st.View("Uniform")
+	if old.Recs[3].Tuple.Attrs[0].Equal(cur.Recs[3].Tuple.Attrs[0]) {
+		t.Fatal("delta did not change the published record")
+	}
+	if !cur.Recs[3].Tuple.Attrs[0].Equal(relation.BytesVal([]byte("new-payload"))) {
+		t.Fatal("published record does not carry the delta payload")
+	}
+}
+
+func TestStoreRejectsTamperedDelta(t *testing.T) {
+	h, sr := build(t, 16)
+	ownerCopy := sr.Clone()
+	st := server.NewStore(h, signKey(t).Public())
+	if err := st.AddRelation(sr, false); err != nil {
+		t.Fatal(err)
+	}
+	epoch0 := st.Epoch()
+
+	d := ownerUpdate(t, h, ownerCopy, 2, []byte("legit"))
+	// A man-in-the-middle swaps the payload without the owner's key: the
+	// record's digest material no longer matches and apply must fail.
+	for i := range d.Ops {
+		if d.Ops[i].Kind == delta.OpUpsert && len(d.Ops[i].Rec.Tuple.Attrs) > 0 {
+			d.Ops[i].Rec.Tuple.Attrs[0] = relation.BytesVal([]byte("evil"))
+			break
+		}
+	}
+	if _, err := st.ApplyDelta(d); err == nil {
+		t.Fatal("tampered delta accepted")
+	}
+	if st.Epoch() != epoch0 {
+		t.Fatal("rejected delta advanced the epoch")
+	}
+	cur, _, _ := st.View("Uniform")
+	if !cur.Recs[2].Tuple.Attrs[0].Equal(sr.Recs[2].Tuple.Attrs[0]) {
+		t.Fatal("rejected delta mutated the published relation")
+	}
+}
+
+func TestStoreDeltaKeepsSiblingEpoch(t *testing.T) {
+	h, uni := build(t, 8)
+	ownerCopy := uni.Clone()
+	emp, err := workload.Employees(workload.EmployeeConfig{
+		N: 8, L: 0, U: 1 << 20, PhotoSize: 8, HiddenPct: 0, Seed: 9,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewParams(0, 1<<20, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	empSR, err := core.Build(h, signKey(t), p, emp)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	st := server.NewStore(h, signKey(t).Public())
+	if err := st.AddRelation(uni, false); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.AddRelation(empSR, false); err != nil {
+		t.Fatal(err)
+	}
+	_, empEpoch0, _ := st.View("Emp")
+
+	if _, err := st.ApplyDelta(ownerUpdate(t, h, ownerCopy, 2, []byte("x"))); err != nil {
+		t.Fatal(err)
+	}
+	if _, empEpoch1, _ := st.View("Emp"); empEpoch1 != empEpoch0 {
+		t.Fatalf("delta to Uniform bumped Emp's epoch %d -> %d (would invalidate its cache)", empEpoch0, empEpoch1)
+	}
+	if _, uniEpoch, _ := st.View("Uniform"); uniEpoch <= empEpoch0 {
+		t.Fatalf("Uniform epoch %d did not advance past %d", uniEpoch, empEpoch0)
+	}
+}
+
+func TestStoreDeltaForUnhostedRelation(t *testing.T) {
+	h, _ := build(t, 4)
+	st := server.NewStore(h, signKey(t).Public())
+	if _, err := st.ApplyDelta(delta.Delta{Relation: "nope"}); err == nil {
+		t.Fatal("delta for unhosted relation accepted")
+	}
+}

@@ -16,6 +16,7 @@ import (
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
+	"vcqr/internal/delta"
 	"vcqr/internal/engine"
 	"vcqr/internal/relation"
 )
@@ -90,6 +91,47 @@ type Response struct {
 	Err    string
 }
 
+// BatchRequest carries several queries for one role in a single round
+// trip — amortizing transport and letting the publisher serve all of
+// them from one epoch snapshot.
+type BatchRequest struct {
+	Role    string
+	Queries []engine.Query
+}
+
+// BatchResponse returns one Response per query, in order. Individual
+// failures do not fail the batch.
+type BatchResponse struct {
+	Items []Response
+}
+
+// DeltaResponse acknowledges a delta ingest with the publisher's new
+// epoch, or reports why the batch was rejected (validation failures
+// leave the published epoch untouched).
+type DeltaResponse struct {
+	Epoch uint64
+	Err   string
+}
+
+// EncodeDelta serializes an owner update batch for the ingest endpoint.
+func EncodeDelta(d delta.Delta) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(d); err != nil {
+		return nil, fmt.Errorf("wire: encode delta: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeDelta deserializes an update batch. Publishers must still apply
+// it through delta.Apply, which validates against the owner's key.
+func DecodeDelta(data []byte) (delta.Delta, error) {
+	var d delta.Delta
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&d); err != nil {
+		return delta.Delta{}, fmt.Errorf("wire: decode delta: %w", err)
+	}
+	return d, nil
+}
+
 // EncodeResult and DecodeResult serialize publisher responses.
 func EncodeResult(res *engine.Result) ([]byte, error) {
 	var buf bytes.Buffer
@@ -111,10 +153,11 @@ func DecodeResult(data []byte) (*engine.Result, error) {
 	return resp.Result, nil
 }
 
-// Handler returns an http.Handler exposing a publisher at POST /query.
-func Handler(pub *engine.Publisher) http.Handler {
-	mux := http.NewServeMux()
-	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+// QueryHandler returns the POST /query endpoint over any query executor
+// (engine.Publisher.Execute, server.Server.Query) — one implementation
+// of the wire protocol shared by every front end.
+func QueryHandler(exec func(role string, q engine.Query) (*engine.Result, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
 			return
@@ -125,7 +168,7 @@ func Handler(pub *engine.Publisher) http.Handler {
 			return
 		}
 		var resp Response
-		res, err := pub.Execute(req.Role, req.Query)
+		res, err := exec(req.Role, req.Query)
 		if err != nil {
 			resp.Err = err.Error()
 		} else {
@@ -135,7 +178,16 @@ func Handler(pub *engine.Publisher) http.Handler {
 		if err := gob.NewEncoder(w).Encode(resp); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
-	})
+	}
+}
+
+// Handler returns an http.Handler exposing a bare publisher at POST
+// /query. internal/server composes QueryHandler with caching, epochs and
+// more endpoints; this minimal form remains for embedding a publisher
+// without the serving layer.
+func Handler(pub *engine.Publisher) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/query", QueryHandler(pub.Execute))
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
@@ -175,4 +227,72 @@ func (c *Client) Query(role string, q engine.Query) (*engine.Result, error) {
 		return nil, fmt.Errorf("wire: publisher error: %s", out.Err)
 	}
 	return out.Result, nil
+}
+
+// QueryBatch sends several queries in one round trip. It returns one
+// result or error per query; the returned error covers transport-level
+// failures only.
+func (c *Client) QueryBatch(role string, qs []engine.Query) ([]*engine.Result, []error, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(BatchRequest{Role: role, Queries: qs}); err != nil {
+		return nil, nil, fmt.Errorf("wire: encode batch: %w", err)
+	}
+	resp, err := httpc.Post(c.BaseURL+"/batch", "application/octet-stream", &body)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wire: post batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, nil, fmt.Errorf("wire: publisher returned %s", resp.Status)
+	}
+	var out BatchResponse
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return nil, nil, fmt.Errorf("wire: decode batch response: %w", err)
+	}
+	if len(out.Items) != len(qs) {
+		return nil, nil, fmt.Errorf("wire: %d batch items for %d queries", len(out.Items), len(qs))
+	}
+	results := make([]*engine.Result, len(qs))
+	errs := make([]error, len(qs))
+	for i, item := range out.Items {
+		if item.Err != "" {
+			errs[i] = fmt.Errorf("wire: publisher error: %s", item.Err)
+			continue
+		}
+		results[i] = item.Result
+	}
+	return results, errs, nil
+}
+
+// SendDelta pushes an owner update batch to the publisher's ingest
+// endpoint and returns the publisher's new epoch.
+func (c *Client) SendDelta(d delta.Delta) (uint64, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	blob, err := EncodeDelta(d)
+	if err != nil {
+		return 0, err
+	}
+	resp, err := httpc.Post(c.BaseURL+"/delta", "application/octet-stream", bytes.NewReader(blob))
+	if err != nil {
+		return 0, fmt.Errorf("wire: post delta: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("wire: publisher returned %s", resp.Status)
+	}
+	var out DeltaResponse
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return 0, fmt.Errorf("wire: decode delta response: %w", err)
+	}
+	if out.Err != "" {
+		return 0, fmt.Errorf("wire: publisher rejected delta: %s", out.Err)
+	}
+	return out.Epoch, nil
 }
