@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench ci
+.PHONY: all build vet test race bench fuzz ci
 
 all: ci
 
@@ -19,5 +19,9 @@ race:
 # bench runs the full paper-evaluation + serving benchmark suite.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+
+# fuzz smoke-tests the wire chunk-frame decoder.
+fuzz:
+	$(GO) test -run xxx -fuzz FuzzReadChunkFrame -fuzztime 30s ./internal/wire
 
 ci: vet build race

@@ -5,8 +5,10 @@
 package vcqr
 
 import (
+	"io"
 	"sync"
 	"testing"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/baseline/devanbu"
@@ -558,6 +560,76 @@ func BenchmarkServerCachedVO(b *testing.B) {
 			if _, err := s.Query("all", query); err != nil {
 				b.Fatal(err)
 			}
+		}
+	})
+}
+
+// BenchmarkStreamQuery contrasts the streaming pipeline against the
+// materialized one on the same query, verification included. The
+// headline metrics: ttfc-ns (time to the first verified entry chunk —
+// what a user waits before rows start arriving) and allocs/op. The
+// streaming path's allocations are per chunk; with 64-row chunks over a
+// 512-row result the publisher and verifier never hold more than one
+// chunk plus O(1) accumulators, which is what lets result size outgrow
+// publisher RAM.
+func BenchmarkStreamQuery(b *testing.B) {
+	f := sharedFixture(b)
+	query := queryTopQ(b, f, 512)
+	b.Run("materialized", func(b *testing.B) {
+		s := serverFixture(b, -1)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := s.Query("all", query)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if _, err := f.v.VerifyResult(query, f.role, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("streamed", func(b *testing.B) {
+		s := serverFixture(b, -1)
+		var ttfc time.Duration
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			start := time.Now()
+			st, err := s.QueryStream("all", query, 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sv := f.v.NewStreamVerifier(query, f.role)
+			rows, firstChunk := 0, time.Duration(0)
+			for {
+				c, err := st.Next()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					b.Fatal(err)
+				}
+				released, err := sv.Consume(c)
+				if err != nil {
+					b.Fatal(err)
+				}
+				rows += len(released)
+				if firstChunk == 0 && rows > 0 {
+					firstChunk = time.Since(start)
+				}
+			}
+			if err := sv.Finish(); err != nil {
+				b.Fatal(err)
+			}
+			if rows != 512 {
+				b.Fatalf("streamed %d rows, want 512", rows)
+			}
+			ttfc += firstChunk
+		}
+		b.StopTimer()
+		if b.N > 0 {
+			b.ReportMetric(float64(ttfc.Nanoseconds())/float64(b.N), "ttfc-ns")
 		}
 	})
 }

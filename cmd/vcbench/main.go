@@ -9,7 +9,9 @@
 //	vcbench -exp fig10 -short   # reduced dataset sizes
 //
 // Experiments: fig9, fig10, table1, cuser, vosize, update, ablation,
-// attacks, precision, all.
+// attacks, precision, delta, multiorder, all — plus the serving-path
+// experiments "server" (HTTP /query + /batch through internal/server)
+// and "stream" (streaming vs materialized, end to end).
 package main
 
 import (
@@ -22,7 +24,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
 	flag.Parse()
 
@@ -120,6 +122,22 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintMultiOrder(w, rows)
+	}
+	if run("server") {
+		ran = true
+		rows, err := env.Serving()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintServing(w, rows)
+	}
+	if run("stream") {
+		ran = true
+		rows, err := env.StreamCompare()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintStreamCompare(w, rows)
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -13,6 +13,13 @@
 //
 //	vcquery -url http://localhost:8080 -params params.gob \
 //	        -role manager -ranges 1000:2000,500000:900000,1:0
+//
+// Stream mode pulls the result as verified chunk frames, printing rows
+// as the incremental verifier releases them and reporting the time to
+// the first row — constant client memory no matter the result size:
+//
+//	vcquery -url http://localhost:8080 -params params.gob \
+//	        -role manager -lo 1000 -hi 500000 -stream
 package main
 
 import (
@@ -21,6 +28,7 @@ import (
 	"log"
 	"strconv"
 	"strings"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/engine"
@@ -38,6 +46,8 @@ func main() {
 	hi := flag.Uint64("hi", 0, "range upper bound (inclusive, 0 = unbounded)")
 	cols := flag.String("cols", "", "comma-separated projection (empty = all columns)")
 	ranges := flag.String("ranges", "", "batch mode: comma-separated lo:hi pairs sent as one batch query")
+	stream := flag.Bool("stream", false, "stream mode: verify and print rows chunk by chunk")
+	chunkRows := flag.Int("chunk", 0, "stream mode: rows per chunk (0 = publisher default)")
 	flag.Parse()
 
 	cp, err := wire.ReadClientParams(*paramsPath)
@@ -64,6 +74,10 @@ func main() {
 	}
 
 	q := engine.Query{Relation: cp.Schema.Name, KeyLo: *lo, KeyHi: *hi, Project: project}
+	if *stream {
+		runStream(client, v, cp, role, *roleName, q, *chunkRows)
+		return
+	}
 	res, err := client.Query(*roleName, q)
 	if err != nil {
 		log.Fatalf("query failed: %v", err)
@@ -73,6 +87,44 @@ func main() {
 		log.Fatalf("RESULT REJECTED: %v", err)
 	}
 	printVerified(cp, v, res, rows)
+}
+
+// runStream pulls one query as a verified chunk stream, printing rows as
+// the incremental verifier releases them. With condensed signatures the
+// rows are chain-consistent on release and anchored to the owner's key
+// when the footer verifies; any failure mid-stream aborts with the named
+// reason.
+func runStream(client *wire.Client, v *verify.Verifier, cp wire.ClientParams, role accessctl.Role, roleName string, q engine.Query, chunkRows int) {
+	start := time.Now()
+	var firstRow time.Duration
+	printed := 0
+	stats, err := client.QueryStream(v, role, roleName, q, chunkRows, func(r engine.Row) error {
+		if firstRow == 0 {
+			firstRow = time.Since(start)
+		}
+		if printed < 20 {
+			fmt.Printf("%8d  ", r.Key)
+			for _, d := range r.Values {
+				fmt.Printf("%s=%v  ", cp.Schema.Cols[d.Col].Name, d.Val)
+			}
+			fmt.Println()
+		} else if printed == 20 {
+			fmt.Println("... (further rows verified but not printed)")
+		}
+		printed++
+		return nil
+	})
+	if err != nil {
+		log.Fatalf("STREAM REJECTED after %d rows: %v", stats.Rows, err)
+	}
+	total := time.Since(start)
+	fmt.Printf("stream VERIFIED: %d rows complete and authentic for %s\n", stats.Rows, cp.Schema.KeyName)
+	fmt.Printf("%d chunks, %d bytes on the wire\n", stats.Chunks, stats.Bytes)
+	if firstRow > 0 {
+		fmt.Printf("time to first verified row: %v (total %v)\n", firstRow, total)
+	} else {
+		fmt.Printf("empty result verified in %v\n", total)
+	}
 }
 
 // runBatch parses "lo:hi,lo:hi,..." into one batch request, verifies

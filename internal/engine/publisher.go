@@ -129,52 +129,11 @@ func rewrite(sr *core.SignedRelation, role accessctl.Role, q Query) (Query, erro
 	return eff, nil
 }
 
-// executeRewritten builds the result for an already-rewritten query.
+// executeRewritten builds the result for an already-rewritten query by
+// draining the chunk stream — the materialized API is a view over the
+// streaming one, so the two cannot diverge.
 func (p *Publisher) executeRewritten(sr *core.SignedRelation, role accessctl.Role, eff Query) (*Result, error) {
-	a, b := sr.RangeIndices(eff.KeyLo, eff.KeyHi)
-	vo := RangeVO{KeyLo: eff.KeyLo, KeyHi: eff.KeyHi}
-
-	var err error
-	vo.Left, err = sr.ProveBoundary(p.h, a-1, core.Up, eff.KeyLo)
-	if err != nil {
-		return nil, fmt.Errorf("engine: left boundary: %w", err)
-	}
-	vo.Right, err = sr.ProveBoundary(p.h, b, core.Down, eff.KeyHi)
-	if err != nil {
-		return nil, fmt.Errorf("engine: right boundary: %w", err)
-	}
-
-	seen := map[string]bool{}
-	var sigs []sig.Signature
-	for i := a; i < b; i++ {
-		rec := sr.Recs[i]
-		entry, err := p.buildEntry(sr, role, eff, rec, i, seen)
-		if err != nil {
-			return nil, err
-		}
-		vo.Entries = append(vo.Entries, entry)
-		sigs = append(sigs, sig.Signature(rec.Sig))
-	}
-
-	if b == a {
-		// Empty range: ship sig(pred) and g(pred-1) so the user can check
-		// the predecessor and successor are adjacent (Section 3.2 Case 2
-		// analysis, generalized to ranges).
-		sigs = []sig.Signature{sig.Signature(sr.Recs[a-1].Sig)}
-		if a-1 > 0 {
-			vo.PredPrevG = sr.Recs[a-2].G.Clone()
-		}
-	}
-	if p.Aggregate {
-		agg, err := p.pub.Aggregate(sigs)
-		if err != nil {
-			return nil, fmt.Errorf("engine: aggregation: %w", err)
-		}
-		vo.AggSig = agg
-	} else {
-		vo.IndividualSigs = sigs
-	}
-	return &Result{Relation: eff.Relation, Effective: eff, VO: vo}, nil
+	return Collect(p.newStream(sr, role, eff, DefaultChunkRows))
 }
 
 // buildEntry classifies one covered record and assembles its VO entry.

@@ -1,0 +1,419 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+)
+
+// This file is the streaming half of the publisher: instead of
+// materializing a whole Result, the VO is emitted as a sequence of
+// self-delimiting chunks with bounded memory per chunk. The chunk
+// sequence mirrors the structure the completeness proof is built from:
+//
+//	header   — effective rewrite + left boundary proof
+//	entries* — ≤ ChunkRows covered records each, with their chain digests
+//	           (and per-entry signatures when aggregation is off)
+//	footer   — right boundary proof + condensed signature (+ the
+//	           empty-range predecessor material)
+//
+// The signature chain spans chunk boundaries: entry i's signed digest
+// binds g(i-1) | g(i) | g(i+1) regardless of which chunks carry them, so
+// a verifier that maintains the running chain detects dropped, reordered
+// or truncated chunks no later than the footer — and usually immediately,
+// via the Seq numbers and key ordering. Execute is a drain of this
+// stream, so the materialized and streaming paths cannot diverge.
+
+// ChunkType tags the chunks of a streamed result.
+type ChunkType byte
+
+// Chunk types.
+const (
+	// ChunkHeader opens a stream: relation, effective query, left boundary.
+	ChunkHeader ChunkType = 1
+	// ChunkEntries carries up to ChunkRows covered records.
+	ChunkEntries ChunkType = 2
+	// ChunkFooter closes a stream: right boundary, signatures, empty-range
+	// predecessor material. No chunk may follow it.
+	ChunkFooter ChunkType = 3
+	// ChunkError aborts a stream mid-flight with a publisher-side error;
+	// transport layers use it to carry failures in-band once the HTTP
+	// status line is already committed.
+	ChunkError ChunkType = 4
+)
+
+// String implements fmt.Stringer.
+func (t ChunkType) String() string {
+	switch t {
+	case ChunkHeader:
+		return "header"
+	case ChunkEntries:
+		return "entries"
+	case ChunkFooter:
+		return "footer"
+	case ChunkError:
+		return "error"
+	}
+	return "?"
+}
+
+// Chunk is one self-delimiting piece of a streamed result. Which fields
+// are meaningful depends on Type; everything else stays zero.
+type Chunk struct {
+	Type ChunkType
+	// Seq numbers chunks from 0 (the header) with no gaps. It is framing
+	// metadata, not a security boundary: a cheating publisher can renumber
+	// freely, but then the signature chain fails at (or before) the
+	// footer. Honest transports use it to fail fast on drops and reorders.
+	Seq uint64
+
+	// Header fields.
+	Relation string
+	// Effective is the rewritten query actually executed.
+	Effective Query
+	// KeyLo, KeyHi is the range the boundary proofs are relative to
+	// (always the effective range for an honest publisher; shipped
+	// separately so the verifier can check they agree).
+	KeyLo, KeyHi uint64
+	// Left proves the record preceding the range has key < KeyLo.
+	Left core.BoundaryProof
+
+	// Entries fields.
+	Entries []VOEntry
+	// Sigs carries one signature per entry when aggregation is off. On a
+	// footer it carries the single predecessor signature of an empty
+	// range in that mode.
+	Sigs []sig.Signature
+
+	// Footer fields.
+	// Right proves the record following the range has key > KeyHi.
+	Right core.BoundaryProof
+	// AggSig is the condensed signature over every covered entry (or the
+	// empty-range predecessor). Nil when per-entry Sigs are used.
+	AggSig sig.Signature
+	// PredPrevG supports the empty-range check; see RangeVO.PredPrevG.
+	PredPrevG hashx.Digest
+
+	// Error field.
+	Err string
+}
+
+// ResultStream yields the chunks of one query result in order. Next
+// returns io.EOF after the footer. Streams need no Close: they hold no
+// resources beyond the relation snapshot, which the garbage collector
+// keeps alive exactly as long as the stream is reachable.
+type ResultStream interface {
+	Next() (*Chunk, error)
+}
+
+// DefaultChunkRows is the entry budget per chunk when the caller passes
+// zero: small enough to bound memory, large enough to amortize framing.
+const DefaultChunkRows = 256
+
+// MaxChunkRows caps caller-requested chunk sizes; a "chunk" spanning the
+// whole result would silently reintroduce materialize-then-ship.
+const MaxChunkRows = 4096
+
+// StreamOpts tunes a streamed execution.
+type StreamOpts struct {
+	// ChunkRows bounds the entries per chunk; 0 means DefaultChunkRows,
+	// values above MaxChunkRows are clamped.
+	ChunkRows int
+}
+
+func (o StreamOpts) chunkRows() int {
+	switch {
+	case o.ChunkRows <= 0:
+		return DefaultChunkRows
+	case o.ChunkRows > MaxChunkRows:
+		return MaxChunkRows
+	}
+	return o.ChunkRows
+}
+
+// ExecuteStream runs a select-project query and returns the result as a
+// chunk stream instead of a materialized Result. Rewrite errors surface
+// here; assembly errors surface from Next as the stream advances.
+func (p *Publisher) ExecuteStream(roleName string, q Query, opts StreamOpts) (ResultStream, error) {
+	sr, ok := p.Relation(q.Relation)
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownRelation, q.Relation)
+	}
+	return p.ExecuteStreamOn(sr, roleName, q, opts)
+}
+
+// ExecuteStreamOn is ExecuteStream against an explicitly pinned relation
+// snapshot — the seam the serving layer uses to hold one copy-on-write
+// epoch for the whole lifetime of a stream while deltas cut over
+// concurrently. The snapshot must not be mutated while the stream is
+// being drained.
+func (p *Publisher) ExecuteStreamOn(sr *core.SignedRelation, roleName string, q Query, opts StreamOpts) (ResultStream, error) {
+	role, err := p.policy.Role(roleName)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.validate(sr.Schema); err != nil {
+		return nil, err
+	}
+	eff, err := rewrite(sr, role, q)
+	if err != nil {
+		return nil, err
+	}
+	return p.newStream(sr, role, eff, opts.chunkRows()), nil
+}
+
+// voStream is the pull-based chunk producer. Memory is O(ChunkRows) per
+// Next call plus the O(1) signature accumulator; the only state that can
+// grow with the result is the DISTINCT duplicate-suppression set, which
+// is inherent to the operator's semantics.
+type voStream struct {
+	p    *Publisher
+	sr   *core.SignedRelation
+	role accessctl.Role
+	eff  Query
+
+	chunkRows int
+	a, b      int // covered record interval [a, b) in sr.Recs
+	pos       int // next record index to emit
+	seq       uint64
+	seen      map[string]bool // DISTINCT suppression, nil unless Distinct
+
+	agg *sig.Aggregator // condensed-signature accumulator (Aggregate mode)
+
+	stage streamStage
+	err   error // sticky failure
+}
+
+type streamStage byte
+
+const (
+	stageHeader streamStage = iota
+	stageEntries
+	stageFooter
+	stageDone
+)
+
+func (p *Publisher) newStream(sr *core.SignedRelation, role accessctl.Role, eff Query, chunkRows int) *voStream {
+	a, b := sr.RangeIndices(eff.KeyLo, eff.KeyHi)
+	st := &voStream{
+		p: p, sr: sr, role: role, eff: eff,
+		chunkRows: chunkRows, a: a, b: b, pos: a,
+	}
+	if eff.Distinct {
+		st.seen = map[string]bool{}
+	}
+	if p.Aggregate {
+		st.agg = p.pub.NewAggregator()
+	}
+	return st
+}
+
+// Next returns the next chunk, io.EOF after the footer, or the assembly
+// error that ended the stream (sticky).
+func (s *voStream) Next() (*Chunk, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	c, err := s.next()
+	if err != nil {
+		s.err = err
+		return nil, err
+	}
+	c.Seq = s.seq
+	s.seq++
+	return c, nil
+}
+
+func (s *voStream) next() (*Chunk, error) {
+	switch s.stage {
+	case stageHeader:
+		left, err := s.sr.ProveBoundary(s.p.h, s.a-1, core.Up, s.eff.KeyLo)
+		if err != nil {
+			return nil, fmt.Errorf("engine: left boundary: %w", err)
+		}
+		s.stage = stageEntries
+		if s.pos >= s.b {
+			s.stage = stageFooter
+		}
+		return &Chunk{
+			Type:      ChunkHeader,
+			Relation:  s.eff.Relation,
+			Effective: s.eff,
+			KeyLo:     s.eff.KeyLo,
+			KeyHi:     s.eff.KeyHi,
+			Left:      left,
+		}, nil
+
+	case stageEntries:
+		n := s.b - s.pos
+		if n > s.chunkRows {
+			n = s.chunkRows
+		}
+		c := &Chunk{Type: ChunkEntries, Entries: make([]VOEntry, 0, n)}
+		for i := s.pos; i < s.pos+n; i++ {
+			rec := s.sr.Recs[i]
+			entry, err := s.p.buildEntry(s.sr, s.role, s.eff, rec, i, s.seen)
+			if err != nil {
+				return nil, err
+			}
+			c.Entries = append(c.Entries, entry)
+			if s.agg != nil {
+				if err := s.agg.Add(sig.Signature(rec.Sig)); err != nil {
+					return nil, fmt.Errorf("engine: aggregation: %w", err)
+				}
+			} else {
+				// Aliasing rec.Sig is safe: epoch snapshots are immutable.
+				c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
+			}
+		}
+		s.pos += n
+		if s.pos >= s.b {
+			s.stage = stageFooter
+		}
+		return c, nil
+
+	case stageFooter:
+		c := &Chunk{Type: ChunkFooter}
+		right, err := s.sr.ProveBoundary(s.p.h, s.b, core.Down, s.eff.KeyHi)
+		if err != nil {
+			return nil, fmt.Errorf("engine: right boundary: %w", err)
+		}
+		c.Right = right
+		if s.b == s.a {
+			// Empty range: ship sig(pred) and g(pred-1) so the user can
+			// check the predecessor and successor are adjacent (Section
+			// 3.2 Case 2 analysis, generalized to ranges).
+			predSig := sig.Signature(s.sr.Recs[s.a-1].Sig)
+			if s.agg != nil {
+				if err := s.agg.Add(predSig); err != nil {
+					return nil, fmt.Errorf("engine: aggregation: %w", err)
+				}
+			} else {
+				c.Sigs = []sig.Signature{predSig}
+			}
+			if s.a-1 > 0 {
+				c.PredPrevG = s.sr.Recs[s.a-2].G.Clone()
+			}
+		}
+		if s.agg != nil {
+			agg, err := s.agg.Sum()
+			if err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
+			}
+			c.AggSig = agg
+		}
+		s.stage = stageDone
+		return c, nil
+
+	default:
+		return nil, io.EOF
+	}
+}
+
+// Collect drains a stream into the materialized Result the non-streaming
+// API returns. Execute is implemented as ExecuteStream + Collect, so the
+// two paths emit byte-identical VOs.
+func Collect(st ResultStream) (*Result, error) {
+	var res *Result
+	sawFooter := false
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+		switch c.Type {
+		case ChunkHeader:
+			if res != nil {
+				return nil, errors.New("engine: duplicate header chunk")
+			}
+			res = &Result{Relation: c.Relation, Effective: c.Effective}
+			res.VO.KeyLo, res.VO.KeyHi = c.KeyLo, c.KeyHi
+			res.VO.Left = c.Left
+		case ChunkEntries:
+			if res == nil {
+				return nil, errors.New("engine: entries before header chunk")
+			}
+			res.VO.Entries = append(res.VO.Entries, c.Entries...)
+			res.VO.IndividualSigs = append(res.VO.IndividualSigs, c.Sigs...)
+		case ChunkFooter:
+			if res == nil {
+				return nil, errors.New("engine: footer before header chunk")
+			}
+			res.VO.Right = c.Right
+			res.VO.AggSig = c.AggSig
+			res.VO.PredPrevG = c.PredPrevG
+			res.VO.IndividualSigs = append(res.VO.IndividualSigs, c.Sigs...)
+			sawFooter = true
+		case ChunkError:
+			return nil, fmt.Errorf("engine: stream error: %s", c.Err)
+		default:
+			return nil, fmt.Errorf("engine: unknown chunk type %d", c.Type)
+		}
+	}
+	if res == nil || !sawFooter {
+		return nil, errors.New("engine: stream ended before footer")
+	}
+	return res, nil
+}
+
+// ChunkResult slices a materialized Result back into the chunk sequence
+// ExecuteStream would have produced for it (with the given per-chunk
+// entry budget). The whole-result verifier runs on these chunks, and
+// tamper tests use them to corrupt individual stream pieces.
+func ChunkResult(res *Result, chunkRows int) []*Chunk {
+	if chunkRows <= 0 {
+		chunkRows = DefaultChunkRows
+	}
+	vo := &res.VO
+	// When aggregation is on, any IndividualSigs in the materialized VO
+	// are ignored — mirroring the verifier, which checks AggSig first.
+	individual := vo.AggSig == nil
+	var chunks []*Chunk
+	chunks = append(chunks, &Chunk{
+		Type:      ChunkHeader,
+		Relation:  res.Relation,
+		Effective: res.Effective,
+		KeyLo:     vo.KeyLo,
+		KeyHi:     vo.KeyHi,
+		Left:      vo.Left,
+	})
+	for off := 0; off < len(vo.Entries); off += chunkRows {
+		end := off + chunkRows
+		if end > len(vo.Entries) {
+			end = len(vo.Entries)
+		}
+		c := &Chunk{Type: ChunkEntries, Entries: vo.Entries[off:end]}
+		if individual && off < len(vo.IndividualSigs) {
+			se := end
+			if se > len(vo.IndividualSigs) {
+				se = len(vo.IndividualSigs)
+			}
+			c.Sigs = vo.IndividualSigs[off:se]
+		}
+		chunks = append(chunks, c)
+	}
+	footer := &Chunk{
+		Type:      ChunkFooter,
+		Right:     vo.Right,
+		AggSig:    vo.AggSig,
+		PredPrevG: vo.PredPrevG,
+	}
+	if individual && len(vo.IndividualSigs) > len(vo.Entries) {
+		// Empty-range predecessor signature (or a publisher shipping
+		// excess signatures — the verifier rejects those).
+		footer.Sigs = vo.IndividualSigs[len(vo.Entries):]
+	}
+	chunks = append(chunks, footer)
+	for i, c := range chunks {
+		c.Seq = uint64(i)
+	}
+	return chunks
+}

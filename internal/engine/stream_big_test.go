@@ -1,0 +1,102 @@
+package engine_test
+
+import (
+	"io"
+	"os"
+	"runtime"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/verify"
+	"vcqr/internal/workload"
+)
+
+// TestStream100kBounded is the acceptance check for the streaming
+// pipeline: a 100k-row range query must stream with O(chunk) publisher
+// and client memory. Building 100k RSA-signed records takes ~30s, so the
+// test only runs when VCQR_BIG=1; CI and the tier-1 suite skip it.
+//
+//	VCQR_BIG=1 go test -run TestStream100kBounded -v ./internal/engine
+func TestStream100kBounded(t *testing.T) {
+	if os.Getenv("VCQR_BIG") == "" {
+		t.Skip("set VCQR_BIG=1 to run the 100k-row streaming acceptance test")
+	}
+	const n = 100_000
+	h := hashx.New()
+	rel, err := workload.Uniform(workload.UniformConfig{
+		N: n, L: 0, U: 1 << 32, PayloadSize: 64, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewParams(0, 1<<32, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.Build(h, streamSignKey(t), p, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	role := accessctl.Role{Name: "all"}
+	pub := engine.NewPublisher(h, streamSignKey(t).Public(), accessctl.NewPolicy(role))
+	if err := pub.AddRelation(sr, false); err != nil {
+		t.Fatal(err)
+	}
+	v := verify.New(h, streamSignKey(t).Public(), p, sr.Schema)
+
+	q := engine.Query{Relation: "Uniform", KeyLo: 1}
+	st, err := pub.ExecuteStream("all", q, engine.StreamOpts{ChunkRows: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sv := v.NewStreamVerifier(q, role)
+
+	// Sample live heap per chunk while holding only the current chunk.
+	// The whole VO for 100k rows runs tens of MB; if producer or
+	// verifier secretly buffered the result, the high-water mark would
+	// grow with n instead of staying near the baseline.
+	runtime.GC()
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	base := ms.HeapAlloc
+	var peak uint64
+	rows, chunks := 0, 0
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		released, err := sv.Consume(c)
+		if err != nil {
+			t.Fatalf("chunk %d rejected: %v", chunks, err)
+		}
+		rows += len(released)
+		chunks++
+		if chunks%32 == 0 {
+			runtime.GC()
+			runtime.ReadMemStats(&ms)
+			if ms.HeapAlloc > peak {
+				peak = ms.HeapAlloc
+			}
+		}
+	}
+	if err := sv.Finish(); err != nil {
+		t.Fatal(err)
+	}
+	if rows != n {
+		t.Fatalf("streamed %d rows, want %d", rows, n)
+	}
+	growth := int64(peak) - int64(base)
+	t.Logf("100k rows in %d chunks; live-heap growth over baseline: %.2f MB", chunks, float64(growth)/(1<<20))
+	// Generous bound: a materialized Result for this query is ~60 MB of
+	// entries and digests; O(chunk) streaming state is well under 8 MB.
+	if growth > 8<<20 {
+		t.Fatalf("streaming held %.2f MB live, want O(chunk)", float64(growth)/(1<<20))
+	}
+}

@@ -1,0 +1,248 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"time"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/server"
+	"vcqr/internal/verify"
+	"vcqr/internal/wire"
+)
+
+// This file benchmarks the serving path the way users reach it: through
+// internal/server's HTTP front end and the wire client, not by calling
+// the engine directly. Two experiments:
+//
+//   - Serving (E-server): /query cold and cached, and /batch, end to end
+//     over a loopback listener, with client-side verification included —
+//     the real per-request cost a capacity planner needs.
+//
+//   - StreamCompare (E-stream): the same range query answered
+//     materialized (/query + whole-result verify) and streamed
+//     (/stream + incremental verify), comparing total latency, time to
+//     first verified row, and bytes on the wire.
+
+// servingEnv is one live loopback deployment: a server over a signed
+// relation plus everything a verifying client needs.
+type servingEnv struct {
+	hs     *server.HTTPServer
+	srv    *server.Server
+	client *wire.Client
+	v      *verify.Verifier
+	role   accessctl.Role
+	sr     *core.SignedRelation
+	name   string
+}
+
+func (e *Env) newServingEnv(n int) (*servingEnv, error) {
+	h := hashx.New()
+	sr, _, err := e.buildUniform(h, n, 64, 2, 77)
+	if err != nil {
+		return nil, err
+	}
+	role := accessctl.Role{Name: "all"}
+	srv := server.New(server.Config{
+		Hasher: h,
+		Pub:    e.Key.Public(),
+		Policy: accessctl.NewPolicy(role),
+	})
+	if err := srv.AddRelation(sr, false); err != nil {
+		return nil, err
+	}
+	hs, err := server.Serve("127.0.0.1:0", srv)
+	if err != nil {
+		return nil, err
+	}
+	return &servingEnv{
+		hs:     hs,
+		srv:    srv,
+		client: &wire.Client{BaseURL: "http://" + hs.Addr()},
+		v:      verify.New(h, e.Key.Public(), sr.Params, sr.Schema),
+		role:   role,
+		sr:     sr,
+		name:   sr.Schema.Name,
+	}, nil
+}
+
+func (se *servingEnv) close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	_ = se.hs.Shutdown(ctx)
+}
+
+// ServingRow is one end-to-end measurement of the HTTP serving path.
+type ServingRow struct {
+	Mode    string
+	Rows    int
+	Latency time.Duration
+}
+
+// Serving measures the server's HTTP endpoints end to end: a cold
+// /query (VO assembled), the same query again (VO cache hit), and a
+// /batch of disjoint ranges — every response verified client-side.
+func (e *Env) Serving() ([]ServingRow, error) {
+	n := e.scale(4096)
+	se, err := e.newServingEnv(n)
+	if err != nil {
+		return nil, err
+	}
+	defer se.close()
+
+	q, err := greaterThanQuery(se.sr, se.name, n/4)
+	if err != nil {
+		return nil, err
+	}
+	var rows []ServingRow
+	run := func(mode string) error {
+		start := time.Now()
+		res, err := se.client.Query("all", q)
+		if err != nil {
+			return err
+		}
+		verified, err := se.v.VerifyResult(q, se.role, res)
+		if err != nil {
+			return err
+		}
+		rows = append(rows, ServingRow{Mode: mode, Rows: len(verified), Latency: time.Since(start)})
+		return nil
+	}
+	if err := run("query-cold"); err != nil {
+		return nil, err
+	}
+	if err := run("query-cached"); err != nil {
+		return nil, err
+	}
+
+	// A batch of four disjoint quarters, served from one epoch snapshot.
+	span := (se.sr.Params.U - se.sr.Params.L) / 4
+	var qs []engine.Query
+	for i := uint64(0); i < 4; i++ {
+		qs = append(qs, engine.Query{
+			Relation: se.name,
+			KeyLo:    se.sr.Params.L + i*span + 1,
+			KeyHi:    se.sr.Params.L + (i+1)*span,
+		})
+	}
+	start := time.Now()
+	results, errs, err := se.client.QueryBatch("all", qs)
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	for i, res := range results {
+		if errs[i] != nil {
+			return nil, errs[i]
+		}
+		verified, err := se.v.VerifyResult(qs[i], se.role, res)
+		if err != nil {
+			return nil, err
+		}
+		total += len(verified)
+	}
+	rows = append(rows, ServingRow{Mode: "batch-4", Rows: total, Latency: time.Since(start)})
+	return rows, nil
+}
+
+// PrintServing writes the serving measurements.
+func PrintServing(w io.Writer, rows []ServingRow) {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf("%-14s %8d rows  %12v", r.Mode, r.Rows, r.Latency))
+	}
+	printTable(w, "E-server: HTTP serving path (verify included)", out)
+}
+
+// StreamRow compares one query answered materialized vs streamed.
+type StreamRow struct {
+	ResultRows int
+	// Materialized: one /query round trip plus whole-result verification.
+	MatTotal time.Duration
+	MatBytes int
+	// Streamed: /stream chunks through the incremental verifier.
+	StreamTotal    time.Duration
+	StreamFirstRow time.Duration
+	StreamBytes    int64
+	Chunks         int
+}
+
+// StreamCompare answers the same range queries materialized and
+// streamed. The headline numbers: time to first verified row (streams
+// win as results grow) and peak memory (streams hold one chunk, the
+// materialized path the whole result — visible here only as bytes, the
+// allocation side lives in BenchmarkStreamQuery).
+func (e *Env) StreamCompare() ([]StreamRow, error) {
+	n := e.scale(4096)
+	se, err := e.newServingEnv(n)
+	if err != nil {
+		return nil, err
+	}
+	defer se.close()
+
+	var rows []StreamRow
+	for _, q := range []int{n / 16, n / 4, n} {
+		if q == 0 {
+			continue
+		}
+		query, err := greaterThanQuery(se.sr, se.name, q)
+		if err != nil {
+			return nil, err
+		}
+
+		start := time.Now()
+		res, err := se.client.Query("all", query)
+		if err != nil {
+			return nil, err
+		}
+		verified, err := se.v.VerifyResult(query, se.role, res)
+		if err != nil {
+			return nil, err
+		}
+		matTotal := time.Since(start)
+		blob, err := wire.EncodeResult(res)
+		if err != nil {
+			return nil, err
+		}
+
+		start = time.Now()
+		var firstRow time.Duration
+		stats, err := se.client.QueryStream(se.v, se.role, "all", query, 0, func(engine.Row) error {
+			if firstRow == 0 {
+				firstRow = time.Since(start)
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		if stats.Rows != len(verified) {
+			return nil, fmt.Errorf("experiments: stream returned %d rows, materialized %d", stats.Rows, len(verified))
+		}
+		rows = append(rows, StreamRow{
+			ResultRows:     stats.Rows,
+			MatTotal:       matTotal,
+			MatBytes:       len(blob),
+			StreamTotal:    time.Since(start),
+			StreamFirstRow: firstRow,
+			StreamBytes:    stats.Bytes,
+			Chunks:         stats.Chunks,
+		})
+	}
+	return rows, nil
+}
+
+// PrintStreamCompare writes the streaming-vs-materialized comparison.
+func PrintStreamCompare(w io.Writer, rows []StreamRow) {
+	out := make([]string, 0, len(rows))
+	for _, r := range rows {
+		out = append(out, fmt.Sprintf(
+			"|Q|=%-6d  materialized %10v %8dB   streamed %10v (first row %v) %8dB in %d chunks",
+			r.ResultRows, r.MatTotal, r.MatBytes, r.StreamTotal, r.StreamFirstRow, r.StreamBytes, r.Chunks))
+	}
+	printTable(w, "E-stream: streaming vs materialized (HTTP + verify, end to end)", out)
+}

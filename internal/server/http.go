@@ -20,6 +20,8 @@ import (
 //
 //	POST /query       gob wire.Request       -> gob wire.Response
 //	POST /batch       gob wire.BatchRequest  -> gob wire.BatchResponse
+//	POST /stream      gob wire.StreamRequest -> length-prefixed chunk frames
+//	                  (chunked transfer encoding, flushed per chunk)
 //	POST /delta       gob delta.Delta        -> gob wire.DeltaResponse
 //	GET  /healthz     "ok"
 //	GET  /statsz      JSON Stats snapshot
@@ -51,6 +53,7 @@ func (s *Server) Handler() http.Handler {
 		}
 		writeGob(w, resp)
 	})))
+	mux.Handle("/stream", capBody(maxQueryBody, http.HandlerFunc(s.handleStream)))
 	mux.Handle("/delta", capBody(maxDeltaBody, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST only", http.StatusMethodNotAllowed)
@@ -81,6 +84,62 @@ func (s *Server) Handler() http.Handler {
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
 	return mux
+}
+
+// handleStream serves one query as length-prefixed chunk frames over
+// chunked transfer encoding. The epoch snapshot is pinned before the
+// first frame and held by the stream until the drain finishes, so a
+// delta cutover mid-response never mixes epochs. Pre-stream failures
+// (bad request, unknown relation, rewrite errors) use the HTTP status;
+// once the first frame is out, failures travel in-band as a ChunkError
+// frame. Every frame is flushed individually and accounted in /statsz.
+func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req wire.StreamRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := s.QueryStream(req.Role, req.Query, req.ChunkRows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	cw := &chunkCountingWriter{w: w, srv: s}
+	if err := wire.WriteStream(cw, st); err != nil {
+		// Mid-stream failure: WriteStream already shipped a ChunkError
+		// frame when it could; the client's verifier rejects regardless.
+		s.errors.Add(1)
+	}
+}
+
+// chunkCountingWriter forwards frames to the HTTP response, flushing and
+// accounting per chunk. WriteStream writes a 4-byte prefix then a body
+// per frame; counting every Write and flushing on demand keeps the
+// accounting exact without re-buffering.
+type chunkCountingWriter struct {
+	w    http.ResponseWriter
+	srv  *Server
+	pend int
+}
+
+func (cw *chunkCountingWriter) Write(p []byte) (int, error) {
+	n, err := cw.w.Write(p)
+	cw.pend += n
+	return n, err
+}
+
+// Flush is called by WriteStream once per completed frame.
+func (cw *chunkCountingWriter) Flush() {
+	cw.srv.accountStreamChunk(cw.pend)
+	cw.pend = 0
+	if f, ok := cw.w.(http.Flusher); ok {
+		f.Flush()
+	}
 }
 
 func writeGob(w http.ResponseWriter, v any) {

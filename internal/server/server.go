@@ -66,6 +66,7 @@ type Server struct {
 	cache *voCache
 
 	queries, batches, deltasApplied, errors atomic.Uint64
+	streams, streamChunks, streamBytes      atomic.Uint64
 }
 
 // New creates a server. The executor publisher carries no relations of
@@ -143,6 +144,36 @@ func (s *Server) queryOn(sr *core.SignedRelation, epoch uint64, role string, q e
 	return res, nil
 }
 
+// QueryStream answers one query as a chunk stream with bounded memory:
+// the VO is assembled and shipped ≤chunkRows entries at a time instead
+// of being materialized. The relation's epoch snapshot is pinned when
+// the stream is created and stays pinned (GC-rooted by the stream) until
+// the stream is dropped, so a delta cutover mid-stream never mixes
+// epochs — the whole stream verifies against the epoch that answered
+// its first chunk. Streams bypass the VO cache: their point is not to
+// hold whole results in memory.
+func (s *Server) QueryStream(role string, q engine.Query, chunkRows int) (engine.ResultStream, error) {
+	s.queries.Add(1)
+	s.streams.Add(1)
+	sr, _, ok := s.store.View(q.Relation)
+	if !ok {
+		s.errors.Add(1)
+		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
+	}
+	st, err := s.exec.ExecuteStreamOn(sr, role, q, engine.StreamOpts{ChunkRows: chunkRows})
+	if err != nil {
+		s.errors.Add(1)
+		return nil, err
+	}
+	return st, nil
+}
+
+// accountStreamChunk records one shipped chunk frame in the stats.
+func (s *Server) accountStreamChunk(bytes int) {
+	s.streamChunks.Add(1)
+	s.streamBytes.Add(uint64(bytes))
+}
+
 // pinned is one relation snapshot held for the duration of a batch.
 type pinned struct {
 	sr    *core.SignedRelation
@@ -185,9 +216,13 @@ func (s *Server) Epoch() uint64 { return s.store.Epoch() }
 // aggregated into the process expvar.
 type Stats struct {
 	Queries, Batches, DeltasApplied, Errors uint64
-	Epoch                                   uint64
-	Relations                               map[string]int
-	Cache                                   CacheStats
+	// Streams counts /stream queries; StreamChunks and StreamBytes
+	// account the shipped frames — the per-chunk traffic a capacity
+	// planner multiplies out instead of per-result peaks.
+	Streams, StreamChunks, StreamBytes uint64
+	Epoch                              uint64
+	Relations                          map[string]int
+	Cache                              CacheStats
 }
 
 // Stats snapshots the counters.
@@ -197,6 +232,9 @@ func (s *Server) Stats() Stats {
 		Batches:       s.batches.Load(),
 		DeltasApplied: s.deltasApplied.Load(),
 		Errors:        s.errors.Load(),
+		Streams:       s.streams.Load(),
+		StreamChunks:  s.streamChunks.Load(),
+		StreamBytes:   s.streamBytes.Load(),
 		Epoch:         s.store.Epoch(),
 		Relations:     s.store.Relations(),
 		Cache:         s.cache.Stats(),
@@ -226,6 +264,9 @@ func register(s *Server) {
 				agg.Batches += st.Batches
 				agg.DeltasApplied += st.DeltasApplied
 				agg.Errors += st.Errors
+				agg.Streams += st.Streams
+				agg.StreamChunks += st.StreamChunks
+				agg.StreamBytes += st.StreamBytes
 				agg.Cache.Hits += st.Cache.Hits
 				agg.Cache.Misses += st.Cache.Misses
 				agg.Cache.Evictions += st.Cache.Evictions

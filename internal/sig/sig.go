@@ -184,40 +184,102 @@ func (p *PublicKey) Verify(digest hashx.Digest, sig Signature) bool {
 // Aggregate condenses signatures into one by multiplication mod N.
 // All signatures must come from the same key.
 func (p *PublicKey) Aggregate(sigs []Signature) (Signature, error) {
-	if len(sigs) == 0 {
-		return nil, ErrEmptyAggregate
-	}
-	acc := big.NewInt(1)
+	agg := p.NewAggregator()
 	for _, s := range sigs {
-		v, err := decode(s, p)
-		if err != nil {
+		if err := agg.Add(s); err != nil {
 			return nil, err
 		}
-		acc.Mul(acc, v)
-		acc.Mod(acc, p.N)
 	}
-	return encode(acc, p.SigBytes()), nil
+	return agg.Sum()
 }
 
 // VerifyAggregate checks a condensed signature against the digests of the
 // messages it is supposed to cover. A single modular exponentiation is
 // performed regardless of len(digests) — the Section 5.2 saving.
 func (p *PublicKey) VerifyAggregate(digests []hashx.Digest, agg Signature) bool {
-	p.verifyOps.Add(1)
-	if len(digests) == 0 {
+	av := p.NewAggVerifier()
+	for _, d := range digests {
+		av.Add(d)
+	}
+	return av.Verify(agg)
+}
+
+// Aggregator condenses signatures incrementally: the running product mod
+// N is the only state, so a producer can fold in one signature per result
+// entry as it streams a VO without ever holding the signature list. The
+// zero-overhead equivalent of Aggregate for pipelines.
+type Aggregator struct {
+	p   *PublicKey
+	acc *big.Int
+	n   int
+}
+
+// NewAggregator starts an empty condensed-signature accumulator.
+func (p *PublicKey) NewAggregator() *Aggregator {
+	return &Aggregator{p: p, acc: big.NewInt(1)}
+}
+
+// Add folds one signature into the aggregate.
+func (a *Aggregator) Add(s Signature) error {
+	v, err := decode(s, a.p)
+	if err != nil {
+		return err
+	}
+	a.acc.Mul(a.acc, v)
+	a.acc.Mod(a.acc, a.p.N)
+	a.n++
+	return nil
+}
+
+// Count returns how many signatures were folded in so far.
+func (a *Aggregator) Count() int { return a.n }
+
+// Sum returns the condensed signature over everything added so far.
+func (a *Aggregator) Sum() (Signature, error) {
+	if a.n == 0 {
+		return nil, ErrEmptyAggregate
+	}
+	return encode(a.acc, a.p.SigBytes()), nil
+}
+
+// AggVerifier is the user-side dual of Aggregator: it accumulates the
+// expected FDH product one digest at a time, so a streaming verifier
+// needs O(1) memory regardless of result size, and performs the single
+// public-key exponentiation only when the aggregate arrives.
+type AggVerifier struct {
+	p    *PublicKey
+	want *big.Int
+	n    int
+}
+
+// NewAggVerifier starts an empty expected-digest accumulator.
+func (p *PublicKey) NewAggVerifier() *AggVerifier {
+	return &AggVerifier{p: p, want: big.NewInt(1)}
+}
+
+// Add folds one expected message digest into the accumulator.
+func (a *AggVerifier) Add(d hashx.Digest) {
+	a.want.Mul(a.want, fdh(a.p.N, d))
+	a.want.Mod(a.want, a.p.N)
+	a.n++
+}
+
+// Count returns how many digests were folded in so far.
+func (a *AggVerifier) Count() int { return a.n }
+
+// Verify checks a condensed signature against the accumulated digests
+// with one modular exponentiation.
+func (a *AggVerifier) Verify(agg Signature) bool {
+	a.p.verifyOps.Add(1)
+	if a.n == 0 {
 		return false
 	}
-	s, err := decode(agg, p)
+	s, err := decode(agg, a.p)
 	if err != nil {
 		return false
 	}
-	got := new(big.Int).Exp(s, big.NewInt(int64(p.E)), p.N)
-	want := big.NewInt(1)
-	for _, d := range digests {
-		want.Mul(want, fdh(p.N, d))
-		want.Mod(want, p.N)
-	}
-	return got.Cmp(want) == 0
+	got := new(big.Int).Exp(s, big.NewInt(int64(a.p.E)), a.p.N)
+	return got.Cmp(a.want) == 0
 }
 
 func encode(v *big.Int, size int) Signature {

@@ -1,0 +1,299 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+)
+
+// StreamVerifier consumes the chunks of a streamed result in order and
+// verifies incrementally: per-entry reconstruction, key ordering, and the
+// signature chain all advance as chunks arrive, with O(chunk) memory —
+// the expected-digest product for the condensed signature accumulates in
+// a single modular residue, never a digest list.
+//
+// Failure is fast: a malformed entry, an out-of-order key, a skipped
+// sequence number or a bad per-entry signature rejects the stream the
+// moment the offending chunk is consumed. The one check that must wait
+// is the condensed signature itself, which only exists in the footer —
+// so in aggregate mode the rows released before the footer are
+// chain-consistent but not yet anchored to the owner's key, and a caller
+// acting on them before Consume returns from the footer (or relying on
+// Finish to catch truncation) trusts the publisher exactly that far. In
+// individual-signature mode every released row is fully verified.
+//
+// Verification failures surface the same named errors as VerifyResult,
+// plus the stream-shape errors below.
+type StreamVerifier struct {
+	v    *Verifier
+	q    engine.Query
+	role accessctl.Role
+
+	started bool // header consumed
+	done    bool // footer consumed
+	seq     uint64
+	eff     engine.Query
+
+	entryIdx    int          // global entry index, for error messages
+	gPrev       hashx.Digest // g of the entry before pending (gLeft initially)
+	pending     pendingEntry // by value, overwritten in place: no per-entry allocation
+	havePending bool
+	lastKey     uint64 // key-order tracking across chunk boundaries
+	haveKey     bool
+
+	// Signature mode is established by the first chunk that reveals it:
+	// entry chunks carrying Sigs switch to individual, the footer's
+	// AggSig to aggregate. Until then both paths accumulate.
+	individual bool
+	agg        *sig.AggVerifier
+
+	rows []engine.Row // rows released by the current Consume call
+	err  error        // sticky: first failure is terminal for the stream
+}
+
+// pendingEntry is the one-entry lookahead: entry i's signed digest binds
+// g(i-1) | g(i) | g(i+1), so it can only be completed once its successor
+// (or the right boundary) is known.
+type pendingEntry struct {
+	g   hashx.Digest
+	row *engine.Row
+	sig sig.Signature // individual mode: the entry's own signature
+	idx int
+}
+
+// Stream-shape failures. All of them mean "reject the stream".
+var (
+	ErrChunkSequence   = errors.New("verify: chunk out of sequence")
+	ErrChunkShape      = errors.New("verify: chunk malformed")
+	ErrStreamEnded     = errors.New("verify: chunk after footer")
+	ErrStreamTruncated = errors.New("verify: stream truncated before footer")
+)
+
+// NewStreamVerifier starts verification of one streamed query result.
+// q and role are the user's own query and rights, checked against the
+// publisher's claimed rewrite exactly as in VerifyResult.
+func (v *Verifier) NewStreamVerifier(q engine.Query, role accessctl.Role) *StreamVerifier {
+	return &StreamVerifier{v: v, q: q, role: role, agg: v.Pub.NewAggVerifier()}
+}
+
+// Done reports whether the footer has been consumed successfully.
+func (sv *StreamVerifier) Done() bool { return sv.done }
+
+// Finish must be called when the transport reports end-of-stream. It
+// rejects streams that ended before the footer — the truncation attack a
+// non-streaming verifier never has to think about.
+func (sv *StreamVerifier) Finish() error {
+	if sv.err != nil {
+		return sv.err
+	}
+	if !sv.done {
+		return ErrStreamTruncated
+	}
+	return nil
+}
+
+// Consume verifies one chunk and returns the result rows it releases.
+// Rows are released once their position in the signature chain is fixed
+// (one entry of lookahead), so the final rows of a stream arrive with the
+// footer. Any error is terminal for the stream.
+func (sv *StreamVerifier) Consume(c *engine.Chunk) ([]engine.Row, error) {
+	if err := sv.consume(c); err != nil {
+		sv.err = err // latch: a rejected chunk cannot be retried or replaced
+		return nil, err
+	}
+	return sv.rows, nil
+}
+
+func (sv *StreamVerifier) consume(c *engine.Chunk) error {
+	if sv.err != nil {
+		return sv.err
+	}
+	if sv.done {
+		return ErrStreamEnded
+	}
+	if c.Type == engine.ChunkError {
+		return fmt.Errorf("verify: publisher aborted stream: %s", c.Err)
+	}
+	if c.Seq != sv.seq {
+		return fmt.Errorf("%w: got %d, want %d", ErrChunkSequence, c.Seq, sv.seq)
+	}
+	sv.seq++
+	sv.rows = nil // fresh slice per call: released rows stay valid after the next Consume
+	switch c.Type {
+	case engine.ChunkHeader:
+		return sv.consumeHeader(c)
+	case engine.ChunkEntries:
+		return sv.consumeEntries(c)
+	case engine.ChunkFooter:
+		return sv.consumeFooter(c)
+	default:
+		return fmt.Errorf("%w: unknown chunk type %d", ErrChunkShape, c.Type)
+	}
+}
+
+func (sv *StreamVerifier) consumeHeader(c *engine.Chunk) error {
+	if sv.started {
+		return fmt.Errorf("%w: duplicate header", ErrChunkShape)
+	}
+	if err := sv.v.checkRewrite(sv.q, sv.role, c.Effective); err != nil {
+		return err
+	}
+	if c.KeyLo != c.Effective.KeyLo || c.KeyHi != c.Effective.KeyHi {
+		return fmt.Errorf("%w: VO range [%d,%d] vs effective [%d,%d]", ErrRewriteMismatch, c.KeyLo, c.KeyHi, c.Effective.KeyLo, c.Effective.KeyHi)
+	}
+	gLeft, err := core.VerifyBoundary(sv.v.H, sv.v.Params, c.Left, core.Up, c.KeyLo)
+	if err != nil {
+		return fmt.Errorf("%w: left: %v", ErrBoundary, err)
+	}
+	sv.started = true
+	sv.eff = c.Effective
+	sv.gPrev = gLeft
+	return nil
+}
+
+func (sv *StreamVerifier) consumeEntries(c *engine.Chunk) error {
+	if !sv.started {
+		return fmt.Errorf("%w: entries before header", ErrChunkShape)
+	}
+	if len(c.Entries) == 0 {
+		return fmt.Errorf("%w: empty entries chunk", ErrChunkShape)
+	}
+	if len(c.Entries) > engine.MaxChunkRows {
+		// The O(chunk) memory bound must hold against a *malicious*
+		// publisher too: a chunk packing the whole result would quietly
+		// reintroduce materialize-then-ship on the client.
+		return fmt.Errorf("%w: %d entries exceeds the %d-row chunk cap", ErrChunkShape, len(c.Entries), engine.MaxChunkRows)
+	}
+	if len(c.Sigs) > 0 {
+		if len(c.Sigs) != len(c.Entries) {
+			return fmt.Errorf("%w: %d signatures for %d entries", ErrSignature, len(c.Sigs), len(c.Entries))
+		}
+		if !sv.individual {
+			if sv.entryIdx > 0 {
+				// Earlier chunks carried no signatures; a mode switch
+				// mid-stream means some entries would go unsigned.
+				return fmt.Errorf("%w: per-entry signatures appeared mid-stream", ErrSignature)
+			}
+			sv.individual = true
+			sv.agg = nil
+		}
+	} else if sv.individual {
+		return fmt.Errorf("%w: per-entry signatures missing mid-stream", ErrSignature)
+	}
+	lastKey, haveKey := sv.lastKey, sv.haveKey
+	for i, e := range c.Entries {
+		g, row, key, hasKey, err := sv.v.entryG(sv.eff, sv.role, e)
+		if err != nil {
+			return fmt.Errorf("entry %d: %w", sv.entryIdx, err)
+		}
+		if hasKey {
+			if key < sv.eff.KeyLo || key > sv.eff.KeyHi {
+				return fmt.Errorf("%w: entry %d key %d", ErrKeyOutOfRange, sv.entryIdx, key)
+			}
+			if haveKey && key < lastKey {
+				return fmt.Errorf("%w: entry %d", ErrKeyOrder, sv.entryIdx)
+			}
+			lastKey, haveKey = key, true
+		}
+		var esig sig.Signature
+		if sv.individual {
+			esig = c.Sigs[i]
+		}
+		if err := sv.advance(g, row, esig); err != nil {
+			return err
+		}
+		sv.entryIdx++
+	}
+	sv.lastKey, sv.haveKey = lastKey, haveKey
+	return nil
+}
+
+// advance shifts the one-entry lookahead window: the newly reconstructed
+// g completes the pending entry's signed digest, then becomes pending
+// itself.
+func (sv *StreamVerifier) advance(g hashx.Digest, row *engine.Row, esig sig.Signature) error {
+	if sv.havePending {
+		if err := sv.completePending(g); err != nil {
+			return err
+		}
+		sv.gPrev = sv.pending.g
+	}
+	sv.pending = pendingEntry{g: g, row: row, sig: esig, idx: sv.entryIdx}
+	sv.havePending = true
+	return nil
+}
+
+// completePending folds the pending entry's digest into the signature
+// check, given its successor digest, and releases its row.
+func (sv *StreamVerifier) completePending(gNext hashx.Digest) error {
+	p := &sv.pending
+	digest := core.SigDigestFor(sv.v.H, sv.v.Params, sv.gPrev, p.g, gNext)
+	if sv.individual {
+		if !sv.v.Pub.Verify(digest, p.sig) {
+			return fmt.Errorf("%w: entry %d", ErrSignature, p.idx)
+		}
+	} else {
+		sv.agg.Add(digest)
+	}
+	if p.row != nil {
+		sv.rows = append(sv.rows, *p.row)
+	}
+	return nil
+}
+
+func (sv *StreamVerifier) consumeFooter(c *engine.Chunk) error {
+	if !sv.started {
+		return fmt.Errorf("%w: footer before header", ErrChunkShape)
+	}
+	gRight, err := core.VerifyBoundary(sv.v.H, sv.v.Params, c.Right, core.Down, sv.eff.KeyHi)
+	if err != nil {
+		return fmt.Errorf("%w: right: %v", ErrBoundary, err)
+	}
+
+	if sv.entryIdx == 0 {
+		// Empty range: the single digest binds pred and succ as adjacent.
+		if c.PredPrevG != nil && len(c.PredPrevG) != sv.v.H.Size() {
+			return fmt.Errorf("%w: PredPrevG width", ErrEntry)
+		}
+		digest := core.SigDigestFor(sv.v.H, sv.v.Params, c.PredPrevG, sv.gPrev, gRight)
+		switch {
+		case c.AggSig != nil:
+			sv.agg.Add(digest)
+			if !sv.agg.Verify(c.AggSig) {
+				return fmt.Errorf("%w: aggregate", ErrSignature)
+			}
+		case len(c.Sigs) == 1:
+			if !sv.v.Pub.Verify(digest, c.Sigs[0]) {
+				return fmt.Errorf("%w: entry 0", ErrSignature)
+			}
+		default:
+			return fmt.Errorf("%w: no signatures in VO", ErrSignature)
+		}
+		sv.done = true
+		return nil
+	}
+
+	// Complete the last entry against the right boundary.
+	if err := sv.completePending(gRight); err != nil {
+		return err
+	}
+	switch {
+	case sv.individual:
+		if c.AggSig != nil || len(c.Sigs) > 0 {
+			return fmt.Errorf("%w: trailing signatures in footer", ErrSignature)
+		}
+	case c.AggSig != nil:
+		if !sv.agg.Verify(c.AggSig) {
+			return fmt.Errorf("%w: aggregate", ErrSignature)
+		}
+	default:
+		return fmt.Errorf("%w: no signatures in VO", ErrSignature)
+	}
+	sv.done = true
+	return nil
+}

@@ -56,54 +56,22 @@ func New(h *hashx.Hasher, pub *sig.PublicKey, p core.Params, schema relation.Sch
 // VerifyResult checks a publisher result against the query the user
 // issued and the user's knowledge of their own rights (role). On success
 // it returns the verified result rows in key order.
+//
+// It is a thin drain over the incremental StreamVerifier: the result is
+// sliced back into its chunk sequence and consumed in order, so the
+// materialized and streaming verification paths enforce exactly the same
+// checks.
 func (v *Verifier) VerifyResult(q engine.Query, role accessctl.Role, res *engine.Result) ([]engine.Row, error) {
-	if err := v.checkRewrite(q, role, res.Effective); err != nil {
-		return nil, err
-	}
-	eff := res.Effective
-	vo := &res.VO
-	if vo.KeyLo != eff.KeyLo || vo.KeyHi != eff.KeyHi {
-		return nil, fmt.Errorf("%w: VO range [%d,%d] vs effective [%d,%d]", ErrRewriteMismatch, vo.KeyLo, vo.KeyHi, eff.KeyLo, eff.KeyHi)
-	}
-
-	gLeft, err := core.VerifyBoundary(v.H, v.Params, vo.Left, core.Up, vo.KeyLo)
-	if err != nil {
-		return nil, fmt.Errorf("%w: left: %v", ErrBoundary, err)
-	}
-	gRight, err := core.VerifyBoundary(v.H, v.Params, vo.Right, core.Down, vo.KeyHi)
-	if err != nil {
-		return nil, fmt.Errorf("%w: right: %v", ErrBoundary, err)
-	}
-
-	gs := make([]hashx.Digest, 0, len(vo.Entries))
-	rows := make([]engine.Row, 0, len(vo.Entries))
-	lastKey := uint64(0)
-	haveKey := false
-	for i, e := range vo.Entries {
-		g, row, key, hasKey, err := v.entryG(eff, role, e)
+	sv := v.NewStreamVerifier(q, role)
+	rows := make([]engine.Row, 0, len(res.VO.Entries))
+	for _, c := range engine.ChunkResult(res, engine.DefaultChunkRows) {
+		released, err := sv.Consume(c)
 		if err != nil {
-			return nil, fmt.Errorf("entry %d: %w", i, err)
+			return nil, err
 		}
-		if hasKey {
-			if key < eff.KeyLo || key > eff.KeyHi {
-				return nil, fmt.Errorf("%w: entry %d key %d", ErrKeyOutOfRange, i, key)
-			}
-			if haveKey && key < lastKey {
-				return nil, fmt.Errorf("%w: entry %d", ErrKeyOrder, i)
-			}
-			lastKey, haveKey = key, true
-		}
-		gs = append(gs, g)
-		if row != nil {
-			rows = append(rows, *row)
-		}
+		rows = append(rows, released...)
 	}
-
-	digests, err := v.chainDigests(vo, gLeft, gRight, gs)
-	if err != nil {
-		return nil, err
-	}
-	if err := v.checkSignatures(vo, digests); err != nil {
+	if err := sv.Finish(); err != nil {
 		return nil, err
 	}
 	return rows, nil
@@ -324,54 +292,4 @@ func passesDisclosed(schema relation.Schema, eff engine.Query, vals map[int]rela
 		}
 	}
 	return true
-}
-
-// chainDigests computes the formula (1) digests the signatures must match:
-// one per covered entry, with the boundary g digests as the end
-// neighbours, or the single predecessor digest when the range is empty.
-func (v *Verifier) chainDigests(vo *engine.RangeVO, gLeft, gRight hashx.Digest, gs []hashx.Digest) ([]hashx.Digest, error) {
-	if len(gs) == 0 {
-		// Empty range: check sig(pred) binding pred and succ as adjacent.
-		prev := vo.PredPrevG
-		if prev != nil && len(prev) != v.H.Size() {
-			return nil, fmt.Errorf("%w: PredPrevG width", ErrEntry)
-		}
-		return []hashx.Digest{core.SigDigestFor(v.H, v.Params, prev, gLeft, gRight)}, nil
-	}
-	digests := make([]hashx.Digest, len(gs))
-	for i := range gs {
-		prev := gLeft
-		if i > 0 {
-			prev = gs[i-1]
-		}
-		next := gRight
-		if i < len(gs)-1 {
-			next = gs[i+1]
-		}
-		digests[i] = core.SigDigestFor(v.H, v.Params, prev, gs[i], next)
-	}
-	return digests, nil
-}
-
-// checkSignatures verifies the aggregate or per-entry signatures against
-// the reconstructed digests.
-func (v *Verifier) checkSignatures(vo *engine.RangeVO, digests []hashx.Digest) error {
-	switch {
-	case vo.AggSig != nil:
-		if !v.Pub.VerifyAggregate(digests, vo.AggSig) {
-			return fmt.Errorf("%w: aggregate", ErrSignature)
-		}
-	case len(vo.IndividualSigs) > 0:
-		if len(vo.IndividualSigs) != len(digests) {
-			return fmt.Errorf("%w: %d signatures for %d digests", ErrSignature, len(vo.IndividualSigs), len(digests))
-		}
-		for i, s := range vo.IndividualSigs {
-			if !v.Pub.Verify(digests[i], s) {
-				return fmt.Errorf("%w: entry %d", ErrSignature, i)
-			}
-		}
-	default:
-		return fmt.Errorf("%w: no signatures in VO", ErrSignature)
-	}
-	return nil
 }

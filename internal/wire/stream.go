@@ -1,0 +1,213 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+	"vcqr/internal/verify"
+)
+
+// Chunk framing: each chunk of a streamed result travels as one
+// self-delimiting frame — a 4-byte big-endian length followed by that
+// many bytes of gob-encoded engine.Chunk. Frames are independently
+// decodable (each carries its own gob type preamble), so a reader can
+// resynchronize per frame, bound its memory by MaxChunkFrame, and hand
+// chunks to the verifier the moment they arrive. Nothing in the framing
+// is trusted: truncation, reordering and tampering are all caught by the
+// verification layer; the frame format only needs to fail cleanly.
+
+// MaxChunkFrame bounds one frame's payload. An engine chunk holds at
+// most MaxChunkRows entries of digests and values; anything larger is a
+// malformed or malicious stream, rejected before allocation.
+const MaxChunkFrame = 64 << 20
+
+// Framing errors.
+var (
+	// ErrFrameTooBig reports a length prefix beyond MaxChunkFrame.
+	ErrFrameTooBig = errors.New("wire: chunk frame exceeds size limit")
+	// ErrFrameTruncated reports a stream that ended inside a frame.
+	ErrFrameTruncated = errors.New("wire: chunk frame truncated")
+)
+
+// WriteChunkFrame writes one length-prefixed chunk frame.
+func WriteChunkFrame(w io.Writer, c *engine.Chunk) error {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+		return fmt.Errorf("wire: encode chunk: %w", err)
+	}
+	if buf.Len() > MaxChunkFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// ReadChunkFrame reads one frame. It returns io.EOF exactly at a frame
+// boundary (the clean end of a stream) and ErrFrameTruncated when the
+// stream dies mid-frame.
+func ReadChunkFrame(r io.Reader) (*engine.Chunk, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, io.EOF
+		}
+		return nil, fmt.Errorf("%w: length prefix: %v", ErrFrameTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxChunkFrame {
+		return nil, fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	// Copy incrementally rather than pre-allocating the claimed length:
+	// a lying length prefix on a short stream then costs a small buffer,
+	// not MaxChunkFrame of allocation.
+	var body bytes.Buffer
+	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+		return nil, fmt.Errorf("%w: body: %v", ErrFrameTruncated, err)
+	}
+	var c engine.Chunk
+	if err := gob.NewDecoder(&body).Decode(&c); err != nil {
+		return nil, fmt.Errorf("wire: decode chunk: %w", err)
+	}
+	return &c, nil
+}
+
+// StreamRequest asks a publisher to answer a query as a chunk stream.
+type StreamRequest struct {
+	Role  string
+	Query engine.Query
+	// ChunkRows bounds entries per chunk; 0 lets the publisher choose.
+	ChunkRows int
+}
+
+// WriteStream drains a result stream into w as chunk frames, flushing
+// after every frame when w supports it (http.Flusher or *bufio.Writer),
+// so each chunk reaches the network without waiting for the next.
+// Publisher-side errors after the first frame are sent in-band as a
+// ChunkError frame — the HTTP status is long gone by then.
+func WriteStream(w io.Writer, st engine.ResultStream) error {
+	flush := func() {}
+	switch f := w.(type) {
+	case http.Flusher:
+		flush = f.Flush
+	case *bufio.Writer:
+		flush = func() { f.Flush() }
+	}
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			ec := &engine.Chunk{Type: engine.ChunkError, Err: err.Error()}
+			if werr := WriteChunkFrame(w, ec); werr != nil {
+				return werr
+			}
+			flush()
+			return err
+		}
+		if err := WriteChunkFrame(w, c); err != nil {
+			return err
+		}
+		flush()
+	}
+}
+
+// StreamStats reports transport-level accounting for one streamed query.
+type StreamStats struct {
+	// Chunks counts frames consumed (header + entries + footer).
+	Chunks int
+	// Bytes counts frame payload bytes plus length prefixes.
+	Bytes int64
+	// Rows counts verified rows delivered to the callback.
+	Rows int
+}
+
+// countingReader tallies bytes as frames are read.
+type countingReader struct {
+	r io.Reader
+	n int64
+}
+
+func (cr *countingReader) Read(p []byte) (int, error) {
+	n, err := cr.r.Read(p)
+	cr.n += int64(n)
+	return n, err
+}
+
+// QueryStream sends a streaming query and feeds every received chunk
+// through an incremental verifier, invoking fn (when non-nil) for each
+// result row as the verifier releases it. It returns only after the
+// stream is fully verified — a nil error means exactly what a nil error
+// from Query + VerifyResult means, but the rows were delivered (and the
+// publisher's memory stayed) chunk by chunk. On any verification or
+// transport failure the callback stops and the error reports what broke.
+//
+// Note the streaming trust caveat: with condensed signatures the rows
+// delivered before the footer are chain-consistent but only anchored to
+// the owner's key when QueryStream returns nil. Callers that must not
+// act on provisional rows should buffer until it returns.
+func (c *Client) QueryStream(v *verify.Verifier, role accessctl.Role, roleName string, q engine.Query, chunkRows int, fn func(engine.Row) error) (StreamStats, error) {
+	var stats StreamStats
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(StreamRequest{Role: roleName, Query: q, ChunkRows: chunkRows}); err != nil {
+		return stats, fmt.Errorf("wire: encode stream request: %w", err)
+	}
+	resp, err := httpc.Post(c.BaseURL+"/stream", "application/octet-stream", &body)
+	if err != nil {
+		return stats, fmt.Errorf("wire: post stream: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return stats, fmt.Errorf("wire: publisher returned %s", resp.Status)
+	}
+
+	cr := &countingReader{r: resp.Body}
+	sv := v.NewStreamVerifier(q, role)
+	for {
+		chunk, err := ReadChunkFrame(cr)
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return stats, err
+		}
+		stats.Chunks++
+		stats.Bytes = cr.n
+		rows, err := sv.Consume(chunk)
+		if err != nil {
+			return stats, err
+		}
+		for _, row := range rows {
+			stats.Rows++
+			if fn != nil {
+				if err := fn(row); err != nil {
+					return stats, err
+				}
+			}
+		}
+	}
+	stats.Bytes = cr.n
+	if err := sv.Finish(); err != nil {
+		return stats, err
+	}
+	return stats, nil
+}
