@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz ci
+.PHONY: all build vet test race bench fuzz docs ci
 
 all: ci
 
@@ -24,4 +24,11 @@ bench:
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadChunkFrame -fuzztime 30s ./internal/wire
 
-ci: vet build race
+# docs checks formatting hygiene and that every example still builds, so
+# the snippets README/DESIGN point at cannot rot.
+docs:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then echo "files need gofmt:"; echo "$$out"; exit 1; fi
+	$(GO) vet ./...
+	$(GO) build ./examples/...
+
+ci: vet build race docs

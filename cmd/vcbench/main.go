@@ -10,8 +10,10 @@
 //
 // Experiments: fig9, fig10, table1, cuser, vosize, update, ablation,
 // attacks, precision, delta, multiorder, all — plus the serving-path
-// experiments "server" (HTTP /query + /batch through internal/server)
-// and "stream" (streaming vs materialized, end to end).
+// experiments "server" (HTTP /query + /batch through internal/server),
+// "stream" (streaming vs materialized, end to end) and "shard" (the
+// K-way partitioned-publisher sweep: query and delta throughput at
+// K ∈ {1,2,4,8} on the same data, with verified cross-shard streams).
 package main
 
 import (
@@ -24,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
 	flag.Parse()
 
@@ -138,6 +140,14 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintStreamCompare(w, rows)
+	}
+	if run("shard") {
+		ran = true
+		rows, err := env.Sharding()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintSharding(w, rows)
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -93,12 +93,22 @@ func main() {
 // the incremental verifier releases them. With condensed signatures the
 // rows are chain-consistent on release and anchored to the owner's key
 // when the footer verifies; any failure mid-stream aborts with the named
-// reason.
+// reason. When the parameters carry a partition spec, the shard-aware
+// verifier runs its fail-fast hand-off checks on top of the chain.
 func runStream(client *wire.Client, v *verify.Verifier, cp wire.ClientParams, role accessctl.Role, roleName string, q engine.Query, chunkRows int) {
+	var sv verify.ChunkVerifier = v.NewStreamVerifier(q, role)
+	if cp.Partition != nil {
+		shardSV, err := v.NewShardStreamVerifier(*cp.Partition, q, role)
+		if err != nil {
+			log.Fatalf("cannot verify against the partition spec: %v", err)
+		}
+		sv = shardSV
+		fmt.Printf("partitioned publication: %d shards, verifying hand-offs\n", cp.Partition.K())
+	}
 	start := time.Now()
 	var firstRow time.Duration
 	printed := 0
-	stats, err := client.QueryStream(v, role, roleName, q, chunkRows, func(r engine.Row) error {
+	stats, err := client.QueryStreamWith(sv, roleName, q, chunkRows, func(r engine.Row) error {
 		if firstRow == 0 {
 			firstRow = time.Since(start)
 		}

@@ -2,17 +2,21 @@
 // for the Figure 3 deployment. It either loads a pre-signed snapshot
 // produced by vcsign (-load; the realistic mode: the publisher never
 // holds the signing key) or plays both roles and generates a signed
-// employee relation in-process.
+// employee relation in-process. Snapshots may be plain or
+// range-partitioned (vcsign -shards); partitioned publications are
+// served with one copy-on-write epoch per shard, so a delta to shard i
+// never blocks or invalidates queries on shard j.
 //
 // The server is goroutine-safe, caches assembled VOs in an LRU, applies
 // owner deltas live on POST /delta, and shuts down gracefully on
-// SIGINT/SIGTERM. Endpoints: /query, /batch, /delta, /healthz, /statsz,
-// /debug/vars.
+// SIGINT/SIGTERM. Endpoints: /query, /batch, /stream, /delta, /healthz,
+// /statsz (including per-shard counters), /debug/vars.
 //
 // Usage:
 //
 //	vcserve -load emp.gob -params params.gob -addr :8080
-//	vcserve -n 1000 -params params.gob -addr :8080   # self-signed demo
+//	vcserve -n 1000 -params params.gob -addr :8080     # self-signed demo
+//	vcserve -n 1000 -shards 4 -params params.gob       # sharded demo
 //
 // Query it with cmd/vcquery.
 package main
@@ -31,6 +35,7 @@ import (
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
 	"vcqr/internal/owner"
+	"vcqr/internal/partition"
 	"vcqr/internal/server"
 	"vcqr/internal/sig"
 	"vcqr/internal/wire"
@@ -39,25 +44,26 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
-	load := flag.String("load", "", "signed-relation snapshot from vcsign (empty = generate in-process)")
+	load := flag.String("load", "", "publication snapshot from vcsign (empty = generate in-process)")
 	n := flag.Int("n", 500, "records to generate when -load is empty")
 	seed := flag.Int64("seed", 1, "workload seed when -load is empty")
+	shards := flag.Int("shards", 1, "range-partition the in-process publication (ignored with -load)")
 	paramsPath := flag.String("params", "params.gob", "client parameters file (read with -load, written otherwise)")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "VO cache entries (negative disables)")
 	flag.Parse()
 
 	h := hashx.New()
 	var (
-		sr  *core.SignedRelation
-		pub *sig.PublicKey
-		cp  wire.ClientParams
+		snap *wire.Snapshot
+		pub  *sig.PublicKey
+		cp   wire.ClientParams
 	)
 	if *load != "" {
 		blob, err := os.ReadFile(*load)
 		if err != nil {
 			log.Fatal(err)
 		}
-		sr, err = wire.DecodeRelation(blob)
+		snap, err = wire.DecodeSnapshot(blob)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -66,7 +72,6 @@ func main() {
 			log.Fatal(err)
 		}
 		pub = &sig.PublicKey{N: cp.N, E: cp.E}
-		log.Printf("loaded snapshot %s: %q, %d records", *load, sr.Schema.Name, sr.Len())
 	} else {
 		o, err := owner.New(h, 0)
 		if err != nil {
@@ -79,7 +84,7 @@ func main() {
 			log.Fatal(err)
 		}
 		log.Printf("signing %d records (one chained signature each)...", rel.Len())
-		sr, err = o.Publish(rel, core.DefaultBase)
+		sr, err := o.Publish(rel, core.DefaultBase)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -91,6 +96,15 @@ func main() {
 				"exec":    {Name: "exec", KeyHi: 1 << 30},
 				"clerk":   {Name: "clerk", VisibilityCol: "vis_clerk"},
 			},
+		}
+		snap = &wire.Snapshot{Relation: sr}
+		if *shards > 1 {
+			set, err := partition.Split(sr, *shards)
+			if err != nil {
+				log.Fatal(err)
+			}
+			snap = &wire.Snapshot{Partition: set}
+			cp.Partition = &set.Spec
 		}
 		if err := wire.WriteClientParams(*paramsPath, cp); err != nil {
 			log.Fatal(err)
@@ -108,15 +122,33 @@ func main() {
 		Policy:    accessctl.NewPolicy(roles...),
 		CacheSize: *cacheSize,
 	})
-	if err := s.AddRelation(sr, true); err != nil {
-		log.Fatalf("snapshot failed ingest validation: %v", err)
+	var name string
+	var records int
+	switch {
+	case snap.Partition != nil:
+		if err := s.AddPartition(snap.Partition, true); err != nil {
+			log.Fatalf("snapshot failed ingest validation: %v", err)
+		}
+		name = snap.Partition.Spec.Relation
+		for _, sl := range snap.Partition.Slices {
+			records += sl.Len()
+		}
+		log.Printf("hosting %q as %d shards (%d records, per-shard epochs)", name, snap.Partition.Spec.K(), records)
+	case snap.Relation != nil:
+		if err := s.AddRelation(snap.Relation, true); err != nil {
+			log.Fatalf("snapshot failed ingest validation: %v", err)
+		}
+		name = snap.Relation.Schema.Name
+		records = snap.Relation.Len()
+	default:
+		log.Fatal("snapshot holds neither a relation nor a partition")
 	}
 
 	hs, err := server.Serve(*addr, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("publisher serving %q (%d records) on %s\n", sr.Schema.Name, sr.Len(), hs.Addr())
+	fmt.Printf("publisher serving %q (%d records) on %s\n", name, records, hs.Addr())
 
 	stop := make(chan os.Signal, 1)
 	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)

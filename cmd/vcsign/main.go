@@ -2,17 +2,24 @@
 // generates a fresh signing key, signs a relation, and writes two
 // artifacts:
 //
-//   - a signed-relation snapshot (-out) for publishers — contains no
-//     secrets, only tuples, digests and signatures;
+//   - a publication snapshot (-out) for publishers — contains no
+//     secrets, only tuples, digests and signatures; with -shards K > 1
+//     the snapshot is a K-way range partition (the signatures are
+//     identical either way: partitioning never touches the chain);
 //   - a client-parameters file (-params) for users — the public key,
-//     domain parameters, schema and role definitions, to be distributed
-//     over an authenticated channel.
+//     domain parameters, schema, role definitions, and the partition
+//     layout when sharded, to be distributed over an authenticated
+//     channel.
 //
 // The private key is used once and discarded; re-run vcsign to publish a
 // new version. Serve the snapshot with:
 //
 //	vcsign -n 1000 -out emp.gob -params params.gob
 //	vcserve -load emp.gob -params params.gob
+//
+// Sharded publication for a partitioned publisher:
+//
+//	vcsign -n 1000 -shards 4 -out emp.gob -params params.gob
 package main
 
 import (
@@ -24,6 +31,7 @@ import (
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
 	"vcqr/internal/owner"
+	"vcqr/internal/partition"
 	"vcqr/internal/wire"
 	"vcqr/internal/workload"
 )
@@ -32,7 +40,8 @@ func main() {
 	n := flag.Int("n", 500, "number of employee records to generate")
 	seed := flag.Int64("seed", 1, "workload seed")
 	base := flag.Uint64("base", core.DefaultBase, "chain number base B")
-	out := flag.String("out", "relation.gob", "signed-relation snapshot for publishers")
+	shards := flag.Int("shards", 1, "range-partition the publication into this many shards")
+	out := flag.String("out", "relation.gob", "publication snapshot for publishers")
 	paramsPath := flag.String("params", "params.gob", "client parameters file for users")
 	flag.Parse()
 
@@ -53,15 +62,6 @@ func main() {
 		log.Fatal(err)
 	}
 
-	blob, err := wire.EncodeRelation(sr)
-	if err != nil {
-		log.Fatal(err)
-	}
-	if err := os.WriteFile(*out, blob, 0o644); err != nil {
-		log.Fatal(err)
-	}
-	log.Printf("snapshot: %s (%d bytes, %d signatures)", *out, len(blob), o.SignOps())
-
 	cp := wire.ClientParams{
 		N: o.PublicKey().N, E: o.PublicKey().E,
 		Params: sr.Params, Schema: sr.Schema,
@@ -71,6 +71,30 @@ func main() {
 			"clerk":   {Name: "clerk", VisibilityCol: "vis_clerk"},
 		},
 	}
+
+	var blob []byte
+	if *shards > 1 {
+		set, err := partition.Split(sr, *shards)
+		if err != nil {
+			log.Fatal(err)
+		}
+		blob, err = wire.EncodeSnapshot(&wire.Snapshot{Partition: set})
+		if err != nil {
+			log.Fatal(err)
+		}
+		cp.Partition = &set.Spec
+		log.Printf("partitioned into %d shards at cuts %v", set.Spec.K(), set.Spec.Cuts[1:len(set.Spec.Cuts)-1])
+	} else {
+		blob, err = wire.EncodeRelation(sr)
+		if err != nil {
+			log.Fatal(err)
+		}
+	}
+	if err := os.WriteFile(*out, blob, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("snapshot: %s (%d bytes, %d signatures)", *out, len(blob), o.SignOps())
+
 	if err := wire.WriteClientParams(*paramsPath, cp); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,209 @@
+// Sharded: a partitioned publisher and the hand-off checks, live.
+//
+// The owner signs one relation and range-partitions it into four shards
+// — a free operation, because every shard is a contiguous slice of the
+// same signature chain. A query spanning three of the four shards is
+// answered as one fan-out stream whose chunks carry shard tags, and the
+// shard-aware verifier checks both the chain (soundness) and the
+// hand-off bookkeeping (fail-fast attribution).
+//
+// Then the publisher turns hostile: it serves the same stream with the
+// interior shard's chunks dropped. The naive version trips the chunk
+// sequencing immediately; the careful version — sequence numbers
+// renumbered, footer accounting rewritten — is named by the shard
+// checks at the exact hand-off where shard 2 should have begun, and
+// even a publisher that forges all the framing cannot survive the
+// condensed-signature check that anchors the chain to the owner's key.
+//
+// Run: go run ./examples/sharded
+package main
+
+import (
+	"fmt"
+	"io"
+	"log"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/partition"
+	"vcqr/internal/server"
+	"vcqr/internal/verify"
+	"vcqr/internal/workload"
+)
+
+func main() {
+	h := hashx.New()
+	own, err := owner.New(h, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rel, err := workload.Employees(workload.EmployeeConfig{
+		N: 48, L: 0, U: 1 << 20, PhotoSize: 16, HiddenPct: 0, Seed: 21,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	sr, err := own.Publish(rel, core.DefaultBase)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Partition four ways: no re-signing, just slicing the chain.
+	set, err := partition.Split(sr, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("partitioned %d records into %d shards at cuts %v\n",
+		sr.Len(), set.Spec.K(), set.Spec.Cuts[1:len(set.Spec.Cuts)-1])
+
+	role := accessctl.Role{Name: "manager"}
+	srv := server.New(server.Config{
+		Hasher: h, Pub: own.PublicKey(), Policy: accessctl.NewPolicy(role),
+	})
+	defer srv.Close()
+	if err := srv.AddPartition(set, true); err != nil {
+		log.Fatal(err)
+	}
+	v := verify.New(h, own.PublicKey(), sr.Params, sr.Schema)
+
+	// A range spanning shards 0-2: from the lowest key into shard 2.
+	sl2 := set.Slices[2]
+	q := engine.Query{
+		Relation: sr.Schema.Name,
+		KeyLo:    1,
+		KeyHi:    sl2.Recs[len(sl2.Recs)-2].Key(),
+	}
+	chunks := drain(srv, q)
+	fmt.Printf("\ncross-shard query [%d, %d]: %d chunks from shards ", q.KeyLo, q.KeyHi, len(chunks))
+	seen := map[int]bool{}
+	for _, c := range chunks {
+		if c.Type == engine.ChunkEntries && !seen[c.Shard] {
+			seen[c.Shard] = true
+			fmt.Printf("%d ", c.Shard)
+		}
+	}
+	fmt.Println()
+
+	rows, err := verifyChunks(v, set.Spec, q, role, chunks)
+	if err != nil {
+		log.Fatalf("honest stream rejected: %v", err)
+	}
+	fmt.Printf("VERIFIED: %d rows complete and authentic across %d shards\n", rows, len(seen))
+
+	// Attack 1: drop shard 1's chunks outright. The Seq gap is caught on
+	// the first chunk after the hole.
+	if _, err := verifyChunks(v, set.Spec, q, role, dropShard(chunks, 1, false)); err != nil {
+		fmt.Printf("\ndrop shard 1 (naive):      REJECTED: %v\n", err)
+	} else {
+		log.Fatal("naive interior-shard drop verified!")
+	}
+
+	// Attack 2: drop shard 1's chunks and renumber Seq contiguously. The
+	// shard tags now skip a covering shard — named at the hand-off.
+	if _, err := verifyChunks(v, set.Spec, q, role, dropShard(chunks, 1, true)); err != nil {
+		fmt.Printf("drop shard 1 (renumbered): REJECTED: %v\n", err)
+	} else {
+		log.Fatal("renumbered interior-shard drop verified!")
+	}
+
+	// Attack 3: swap two entry chunks across the shard 0/1 hand-off.
+	swapped := append([]*engine.Chunk(nil), chunks...)
+	a, b := -1, -1
+	for i, c := range swapped {
+		if c.Type != engine.ChunkEntries {
+			continue
+		}
+		if c.Shard == 0 && a < 0 {
+			a = i
+		}
+		if c.Shard == 1 && b < 0 {
+			b = i
+		}
+	}
+	swapped[a], swapped[b] = swapped[b], swapped[a]
+	if _, err := verifyChunks(v, set.Spec, q, role, renumber(swapped)); err != nil {
+		fmt.Printf("reorder across hand-off:   REJECTED: %v\n", err)
+	} else {
+		log.Fatal("reordered hand-off verified!")
+	}
+
+	fmt.Println("\nevery mutilated stream was rejected; the honest one verified.")
+}
+
+// drain pulls every chunk of a partitioned stream from the server.
+func drain(srv *server.Server, q engine.Query) []*engine.Chunk {
+	st, err := srv.QueryStream("manager", q, 8)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var out []*engine.Chunk
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		out = append(out, c)
+	}
+}
+
+// verifyChunks runs a chunk sequence through a fresh shard-aware
+// verifier and returns the verified row count.
+func verifyChunks(v *verify.Verifier, spec partition.Spec, q engine.Query, role accessctl.Role, chunks []*engine.Chunk) (int, error) {
+	sv, err := v.NewShardStreamVerifier(spec, q, role)
+	if err != nil {
+		return 0, err
+	}
+	rows := 0
+	for _, c := range chunks {
+		released, err := sv.Consume(c)
+		if err != nil {
+			return rows, err
+		}
+		rows += len(released)
+	}
+	return rows, sv.Finish()
+}
+
+// dropShard removes the entries chunks of one shard; with renumber set
+// it also restores contiguous Seq numbers and rewrites the footer's
+// accounting — the careful attacker.
+func dropShard(chunks []*engine.Chunk, shard int, fix bool) []*engine.Chunk {
+	var out []*engine.Chunk
+	for _, c := range chunks {
+		if c.Type == engine.ChunkEntries && c.Shard == shard {
+			continue
+		}
+		cp := *c
+		if fix && cp.Type == engine.ChunkFooter {
+			feet := append([]engine.ShardFoot(nil), cp.ShardFeet...)
+			for i := range feet {
+				if feet[i].Shard == shard {
+					feet[i].Entries = 0
+				}
+			}
+			cp.ShardFeet = feet
+		}
+		out = append(out, &cp)
+	}
+	if fix {
+		out = renumber(out)
+	}
+	return out
+}
+
+// renumber restamps Seq contiguously.
+func renumber(chunks []*engine.Chunk) []*engine.Chunk {
+	out := make([]*engine.Chunk, len(chunks))
+	for i, c := range chunks {
+		cp := *c
+		cp.Seq = uint64(i)
+		out[i] = &cp
+	}
+	return out
+}

@@ -106,3 +106,61 @@ func (p Params) OptimalB(q int) uint64 {
 	}
 	return best
 }
+
+// --- Partitioned-publisher serving model -------------------------------
+//
+// The Section 6 formulas model the *user's* costs, which partitioning
+// leaves untouched: a fan-out answer is one chain-contiguous VO, so
+// Muser and Cuser are exactly the unpartitioned formulas (4) and (5).
+// What partitioning changes is the *publisher's* side, which the paper
+// treats as essentially free (the publisher is assumed powerful). At
+// serving scale it is not free, and two publisher costs dominate:
+//
+//   - locating the cover: a scan of the shard's record directory,
+//     linear in the shard's size n/K instead of n;
+//   - applying a live update: two clones of the relation being updated
+//     (copy-on-write epoch + validation scratch), again n/K records
+//     instead of n.
+//
+// The models below are deliberately coarse — per-record scan and clone
+// constants measured on the serving hardware are the inputs — but they
+// predict the shape the vcbench shard sweep measures: query cost falls
+// toward the boundary-proof floor as K grows, delta cost falls
+// near-linearly in 1/K.
+
+// FanoutQueryCost models the publisher-side cost of assembling one
+// range-VO leg on a shard of an n-record relation partitioned K ways:
+// cover location (a linear scan of n/K records at cscan each), the two
+// boundary-proof chain constructions (2·B·(m+1) hashes), and per-entry
+// digest work for q covered entries over attrs attribute leaves.
+func (p Params) FanoutQueryCost(n, k, q, attrs int, cscan time.Duration) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	m := p.M()
+	scan := time.Duration(n/k) * cscan
+	boundaries := time.Duration(2*int(p.B)*(m+1)) * p.Chash
+	entries := time.Duration(q*(attrs+2)) * p.Chash
+	return scan + boundaries + entries
+}
+
+// FanoutDeltaCost models one live record update on a K-way partition:
+// the copy-on-write clone plus validation scratch (2·n/K record copies
+// at cclone each) and the three neighbourhood signature verifications
+// (Section 6.3's locality argument, at Csign each).
+func (p Params) FanoutDeltaCost(n, k int, cclone time.Duration) time.Duration {
+	if k < 1 {
+		k = 1
+	}
+	return time.Duration(2*(n/k))*cclone + 3*p.Csign
+}
+
+// FanoutSpeedup evaluates the model's predicted K-way speedup for a
+// metric that is cost(K=1)/cost(K): the shape vcbench's shard sweep
+// compares its measurements against.
+func FanoutSpeedup(costK1, costK time.Duration) float64 {
+	if costK <= 0 {
+		return 0
+	}
+	return float64(costK1) / float64(costK)
+}

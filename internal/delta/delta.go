@@ -99,10 +99,48 @@ func Diff(old, new *core.SignedRelation) Delta {
 // checked against the owner's public key. On any failure the relation is
 // left unchanged (apply-then-validate runs on a scratch copy).
 func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta) error {
-	if d.Relation != sr.Schema.Name {
-		return fmt.Errorf("%w: delta for %q, relation %q", ErrRelationName, d.Relation, sr.Schema.Name)
-	}
+	return apply(h, pub, sr, d, false)
+}
+
+// ApplySlice is Apply for a partition shard slice (internal/partition):
+// a contiguous run of the global record sequence whose first and last
+// entries are context records mirroring the neighbouring shards. Their
+// signatures bind records outside the slice, so they cannot be checked
+// locally; the slice variant still recomputes their digest material but
+// skips the signature check on non-delimiter edge entries. The skipped
+// checks are not lost: each record's signature is verified by the shard
+// that owns it, and the serving layer re-validates the cross-shard seams
+// after stitching mirrors (see internal/server).
+func ApplySlice(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta) error {
+	return apply(h, pub, sr, d, true)
+}
+
+func apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta, slice bool) error {
 	scratch := sr.Clone()
+	touched, err := ApplyOps(scratch, d)
+	if err != nil {
+		return err
+	}
+	if err := ValidateTouched(h, pub, scratch, touched, slice); err != nil {
+		return err
+	}
+	sr.Recs = scratch.Recs
+	return nil
+}
+
+// ApplyOps mutates sr in place with the delta's operations and returns
+// the indexes whose entries (or neighbourhoods) were affected — the set
+// ValidateTouched must check. No cryptographic validation happens here;
+// callers that need the all-or-nothing contract pass a scratch clone
+// (Apply and ApplySlice do). The split exists for multi-shard
+// transactions: the serving layer applies every shard's sub-batch,
+// stitches the cross-shard mirrors, and only then validates — edge
+// neighbourhoods cannot be checked before their mirrors are fresh.
+func ApplyOps(sr *core.SignedRelation, d Delta) ([]int, error) {
+	if d.Relation != sr.Schema.Name {
+		return nil, fmt.Errorf("%w: delta for %q, relation %q", ErrRelationName, d.Relation, sr.Schema.Name)
+	}
+	scratch := sr
 	touched := map[int]bool{}
 	markAround := func(i int) {
 		for _, j := range []int{i - 1, i, i + 1} {
@@ -116,7 +154,7 @@ func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 		case OpDelete:
 			pos := findEntry(scratch, op.Key, op.RowID, core.KindRecord)
 			if pos < 0 {
-				return fmt.Errorf("%w: delete of missing record (%d, %d)", ErrBadOp, op.Key, op.RowID)
+				return nil, fmt.Errorf("%w: delete of missing record (%d, %d)", ErrBadOp, op.Key, op.RowID)
 			}
 			scratch.Recs = append(scratch.Recs[:pos], scratch.Recs[pos+1:]...)
 			// Renumber: everything at/after pos shifted.
@@ -134,7 +172,7 @@ func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 		case OpUpsert:
 			if op.Rec.Kind == core.KindRecord &&
 				(op.Rec.Key() != op.Key || op.Rec.Tuple.RowID != op.RowID) {
-				return fmt.Errorf("%w: upsert identity mismatch", ErrBadOp)
+				return nil, fmt.Errorf("%w: upsert identity mismatch", ErrBadOp)
 			}
 			pos := findEntry(scratch, op.Key, op.RowID, op.Rec.Kind)
 			if pos >= 0 {
@@ -143,7 +181,7 @@ func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 				continue
 			}
 			if op.Rec.Kind != core.KindRecord {
-				return fmt.Errorf("%w: delimiter upsert for absent delimiter", ErrBadOp)
+				return nil, fmt.Errorf("%w: delimiter upsert for absent delimiter", ErrBadOp)
 			}
 			pos = insertPos(scratch, op.Key, op.RowID)
 			scratch.Recs = append(scratch.Recs, core.SignedRecord{})
@@ -160,22 +198,40 @@ func Apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 			touched = shifted
 			markAround(pos)
 		default:
-			return fmt.Errorf("%w: kind %d", ErrBadOp, op.Kind)
+			return nil, fmt.Errorf("%w: kind %d", ErrBadOp, op.Kind)
 		}
 	}
-	// Validate the touched neighbourhood.
+	out := make([]int, 0, len(touched))
 	for i := range touched {
-		if i < 0 || i >= len(scratch.Recs) {
+		if i >= 0 && i < len(scratch.Recs) {
+			out = append(out, i)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// ValidateTouched checks the digest material and signatures of the given
+// entries against the owner's key — the post-apply half of Apply. With
+// slice set, the first and last entries are treated as shard-slice
+// context records: their digest material is still checked, but their
+// signatures bind records outside the slice and are skipped (the owning
+// shard, or the serving layer's seam re-validation, checks them).
+func ValidateTouched(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, touched []int, slice bool) error {
+	for _, i := range touched {
+		if i < 0 || i >= len(sr.Recs) {
 			continue
 		}
-		if err := scratch.CheckEntryDigests(h, i); err != nil {
+		if err := sr.CheckEntryDigests(h, i); err != nil {
 			return fmt.Errorf("%w: %v", ErrValidation, err)
 		}
-		if !scratch.VerifyEntrySig(h, pub, i) {
+		if slice && (i == 0 || i == len(sr.Recs)-1) && sr.Recs[i].Kind == core.KindRecord {
+			continue
+		}
+		if !sr.VerifyEntrySig(h, pub, i) {
 			return fmt.Errorf("%w: entry %d signature", ErrValidation, i)
 		}
 	}
-	sr.Recs = scratch.Recs
 	return nil
 }
 

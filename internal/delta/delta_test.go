@@ -216,3 +216,59 @@ func TestRepeatedSyncConverges(t *testing.T) {
 		t.Fatalf("copies diverged: %d residual ops", d.Size())
 	}
 }
+
+// TestApplySliceEdgeValidation: a shard slice (context records at both
+// ends, see internal/partition) accepts an update to an interior record
+// whose re-sign neighbourhood reaches the slice edge — the edge context's
+// signature is unverifiable locally and must be skipped, while a forged
+// interior record is still rejected.
+func TestApplySliceEdgeValidation(t *testing.T) {
+	h, sr := build(t, 12)
+	key := signKey(t)
+
+	// Carve a slice owning records 4..8 with contexts at 3 and 9.
+	slice := &core.SignedRelation{Params: sr.Params, Schema: sr.Schema}
+	for i := 3; i <= 9; i++ {
+		slice.Recs = append(slice.Recs, sr.Recs[i].Clone())
+	}
+
+	// Owner updates the slice's first owned record (global 4): re-signs
+	// records 3, 4, 5. Record 3 is the slice's left context.
+	next := sr.Clone()
+	k, rowID := next.Recs[4].Key(), next.Recs[4].Tuple.RowID
+	if _, err := next.UpdateAttrs(h, key, k, rowID, someAttrs(sr)); err != nil {
+		t.Fatal(err)
+	}
+	var d delta.Delta
+	d.Relation = sr.Schema.Name
+	for i := 3; i <= 5; i++ {
+		rec := next.Recs[i]
+		d.Ops = append(d.Ops, delta.Op{Kind: delta.OpUpsert, Key: rec.Key(), RowID: rec.Tuple.RowID, Rec: rec.Clone()})
+	}
+
+	// Apply would fail on the slice (edge signature binds global record 2);
+	// ApplySlice must succeed.
+	broken := slice.Clone()
+	if err := delta.Apply(h, key.Public(), broken, d); err == nil {
+		t.Fatal("Apply on a shard slice should fail at the edge signature")
+	}
+	if err := delta.ApplySlice(h, key.Public(), slice, d); err != nil {
+		t.Fatalf("ApplySlice: %v", err)
+	}
+	if !slice.Recs[1].G.Equal(next.Recs[4].G) {
+		t.Fatal("slice did not take the update")
+	}
+
+	// A forged interior record is still rejected by the slice variant.
+	forged := d
+	forged.Ops = append([]delta.Op(nil), d.Ops...)
+	bad := forged.Ops[1]
+	bad.Rec = bad.Rec.Clone()
+	bad.Rec.Tuple.Attrs = append([]relation.Value(nil), bad.Rec.Tuple.Attrs...)
+	bad.Rec.Tuple.Attrs[0] = relation.IntVal(999999)
+	forged.Ops[1] = bad
+	fresh := slice.Clone()
+	if err := delta.ApplySlice(h, key.Public(), fresh, forged); !errors.Is(err, delta.ErrValidation) {
+		t.Fatalf("forged op on slice: got %v, want ErrValidation", err)
+	}
+}

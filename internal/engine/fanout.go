@@ -1,0 +1,396 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sync"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/sig"
+)
+
+// This file is the fan-out half of the streaming pipeline: one query
+// whose effective range spans several partition shards is answered as a
+// single chunk stream that concatenates per-shard entry runs. Because
+// the shards of internal/partition are contiguous slices of one global
+// signature chain, the merged stream is indistinguishable — to the
+// chain-verification rules — from the stream an unpartitioned publisher
+// would emit for the same range: one header with the left boundary proof
+// (from the first covering shard), the covered entries in global key
+// order, and one footer with the right boundary proof (from the last
+// covering shard) and the condensed signature over every entry. The only
+// additions are the per-chunk Shard tags and the footer's ShardFeet
+// accounting, which give verifiers shard-attributed fail-fast errors.
+//
+// Production parallelizes across shards: each covering shard gets a
+// worker that assembles its entry chunks and its partial condensed
+// signature (condensed-RSA aggregates multiply, so per-shard partials
+// combine into the footer signature in any order), while the merger
+// emits chunks in hand-off order. Memory stays O(workers · chunk): each
+// worker is throttled by a small bounded channel.
+
+// ShardSlice couples one pinned shard slice with the sub-range of the
+// effective query it covers. Slices must be passed in shard (key) order
+// and the sub-ranges must tile the effective range exactly — the
+// serving layer derives them with partition.Spec.Decompose.
+type ShardSlice struct {
+	// Shard is the partition index, stamped on every chunk produced from
+	// this slice.
+	Shard int
+	// SR is the shard's pinned epoch slice: owned records at positions
+	// [1, len-2], context records at 0 and len-1.
+	SR *core.SignedRelation
+	// Lo, Hi is the part of the effective range this shard covers.
+	Lo, Hi uint64
+}
+
+// PrevPin lazily supplies the slice preceding the first covering shard.
+// A fan-out stream needs it in exactly one corner: a globally empty
+// result whose predecessor record is the first slice's left context —
+// proving pred and succ adjacent then requires g of the record *before*
+// the predecessor, which only the previous shard's slice holds. Pinning
+// lazily keeps the common case's cache/epoch footprint at exactly the
+// covering shards.
+type PrevPin func() (*core.SignedRelation, bool)
+
+// FanoutStream answers an already-rewritten query as one verifiable
+// chunk stream drawn from the covering shard slices. The caller has
+// resolved the role, computed the effective query, and pinned hand-off-
+// consistent epoch slices (internal/server does all three). DISTINCT
+// queries run sequentially — duplicate elision is a cross-shard
+// dependency — everything else fans out across min(shards, GOMAXPROCS)
+// workers, overridable via StreamOpts.FanoutWorkers.
+//
+// The returned stream implements io.Closer; callers that may abandon a
+// stream mid-drain (transport failures) should defer Close to release
+// the workers. A fully drained stream needs no Close.
+func (p *Publisher) FanoutStream(role accessctl.Role, eff Query, slices []ShardSlice, prev PrevPin, opts StreamOpts) (ResultStream, error) {
+	if len(slices) == 0 {
+		return nil, fmt.Errorf("engine: fan-out over zero shards")
+	}
+	if slices[0].Lo != eff.KeyLo || slices[len(slices)-1].Hi != eff.KeyHi {
+		return nil, fmt.Errorf("engine: shard sub-ranges [%d,%d] do not tile effective range [%d,%d]",
+			slices[0].Lo, slices[len(slices)-1].Hi, eff.KeyLo, eff.KeyHi)
+	}
+	st := &fanoutStream{
+		p: p, role: role, eff: eff, slices: slices, prev: prev,
+		chunkRows: opts.chunkRows(),
+		ab:        make([][2]int, len(slices)),
+		feet:      make([]ShardFoot, len(slices)),
+	}
+	for i, sl := range slices {
+		if i > 0 && sl.Lo != slices[i-1].Hi+1 {
+			return nil, fmt.Errorf("engine: shard sub-ranges not contiguous at shard %d", sl.Shard)
+		}
+		a, b := sl.SR.RangeIndices(sl.Lo, sl.Hi)
+		st.ab[i] = [2]int{a, b}
+		st.total += b - a
+		st.feet[i] = ShardFoot{Shard: sl.Shard}
+	}
+	if eff.Distinct {
+		st.seen = map[string]bool{}
+	}
+	if p.Aggregate {
+		st.agg = p.pub.NewAggregator()
+	}
+	workers := opts.FanoutWorkers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(slices) {
+		workers = len(slices)
+	}
+	if workers > 1 && !eff.Distinct {
+		st.startWorkers()
+	}
+	return st, nil
+}
+
+// fanoutStream produces the merged chunk sequence. In sequential mode it
+// walks the shard intervals in place; in parallel mode per-shard workers
+// fill bounded channels and the merger drains them in hand-off order.
+type fanoutStream struct {
+	p      *Publisher
+	role   accessctl.Role
+	eff    Query
+	slices []ShardSlice
+	prev   PrevPin
+
+	chunkRows int
+	ab        [][2]int // per-slice covered interval [a, b)
+	total     int
+	feet      []ShardFoot
+
+	cur  int // current slice
+	pos  int // next record within current slice (sequential mode)
+	seq  uint64
+	seen map[string]bool
+	agg  *sig.Aggregator
+
+	// Parallel mode.
+	workers []*shardWorker
+	done    chan struct{}
+	closer  sync.Once
+
+	stage streamStage
+	err   error
+}
+
+// shardWorker is one per-shard producer: chunks stream through ch, and
+// after ch closes the summary (partial aggregate, entry count, error)
+// arrives on res.
+type shardWorker struct {
+	ch  chan *Chunk
+	res chan shardResult
+}
+
+type shardResult struct {
+	partial sig.Signature // condensed partial; nil when the shard was empty or in individual mode
+	err     error
+}
+
+// workerBuffer throttles each shard producer: enough to keep a worker
+// busy while the merger ships the previous chunk, small enough that a
+// stalled consumer bounds memory at O(workers · chunk).
+const workerBuffer = 2
+
+func (st *fanoutStream) startWorkers() {
+	st.done = make(chan struct{})
+	st.workers = make([]*shardWorker, len(st.slices))
+	for m := range st.slices {
+		w := &shardWorker{ch: make(chan *Chunk, workerBuffer), res: make(chan shardResult, 1)}
+		st.workers[m] = w
+		go st.runWorker(m, w)
+	}
+}
+
+func (st *fanoutStream) runWorker(m int, w *shardWorker) {
+	defer close(w.ch)
+	var agg *sig.Aggregator
+	if st.agg != nil {
+		agg = st.p.pub.NewAggregator()
+	}
+	pos := st.ab[m][0]
+	for {
+		c, next, err := st.buildShardChunk(m, pos, agg, nil)
+		if err != nil {
+			w.res <- shardResult{err: err}
+			return
+		}
+		if c == nil {
+			break
+		}
+		select {
+		case w.ch <- c:
+		case <-st.done:
+			w.res <- shardResult{}
+			return
+		}
+		pos = next
+	}
+	var out shardResult
+	if agg != nil && agg.Count() > 0 {
+		sum, err := agg.Sum()
+		if err != nil {
+			out.err = err
+		}
+		out.partial = sum
+	}
+	w.res <- out
+}
+
+// Close releases the per-shard workers of an abandoned stream. Safe to
+// call at any time, any number of times; a no-op in sequential mode.
+func (st *fanoutStream) Close() error {
+	if st.done != nil {
+		st.closer.Do(func() { close(st.done) })
+	}
+	return nil
+}
+
+// buildShardChunk assembles the next entries chunk of slice m starting
+// at record position pos, folding signatures into agg (condensed mode)
+// or attaching them per entry. It returns (nil, pos, nil) when the
+// slice's covered interval is exhausted.
+func (st *fanoutStream) buildShardChunk(m, pos int, agg *sig.Aggregator, seen map[string]bool) (*Chunk, int, error) {
+	b := st.ab[m][1]
+	if pos >= b {
+		return nil, pos, nil
+	}
+	n := b - pos
+	if n > st.chunkRows {
+		n = st.chunkRows
+	}
+	sl := st.slices[m]
+	c := &Chunk{Type: ChunkEntries, Shard: sl.Shard, Entries: make([]VOEntry, 0, n)}
+	for i := pos; i < pos+n; i++ {
+		rec := sl.SR.Recs[i]
+		entry, err := st.p.buildEntry(sl.SR, st.role, st.eff, rec, i, seen)
+		if err != nil {
+			return nil, pos, err
+		}
+		c.Entries = append(c.Entries, entry)
+		if agg != nil {
+			if err := agg.Add(sig.Signature(rec.Sig)); err != nil {
+				return nil, pos, fmt.Errorf("engine: aggregation: %w", err)
+			}
+		} else {
+			// Aliasing rec.Sig is safe: epoch slices are immutable.
+			c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
+		}
+	}
+	return c, pos + n, nil
+}
+
+// Next returns the next merged chunk, io.EOF after the footer, or the
+// first assembly error (sticky).
+func (st *fanoutStream) Next() (*Chunk, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	c, err := st.next()
+	if err != nil {
+		st.err = err
+		st.Close()
+		return nil, err
+	}
+	c.Seq = st.seq
+	st.seq++
+	return c, nil
+}
+
+func (st *fanoutStream) next() (*Chunk, error) {
+	switch st.stage {
+	case stageHeader:
+		first := st.slices[0]
+		left, err := first.SR.ProveBoundary(st.p.h, st.ab[0][0]-1, core.Up, st.eff.KeyLo)
+		if err != nil {
+			return nil, fmt.Errorf("engine: left boundary: %w", err)
+		}
+		st.stage = stageEntries
+		st.pos = st.ab[0][0]
+		if st.total == 0 {
+			st.stage = stageFooter
+		}
+		return &Chunk{
+			Type:      ChunkHeader,
+			Shard:     first.Shard,
+			Relation:  st.eff.Relation,
+			Effective: st.eff,
+			KeyLo:     st.eff.KeyLo,
+			KeyHi:     st.eff.KeyHi,
+			Left:      left,
+		}, nil
+
+	case stageEntries:
+		if st.workers != nil {
+			return st.nextParallel()
+		}
+		// Advance past exhausted slices.
+		for st.pos >= st.ab[st.cur][1] {
+			if st.cur+1 >= len(st.slices) {
+				st.stage = stageFooter
+				return st.next()
+			}
+			st.cur++
+			st.pos = st.ab[st.cur][0]
+		}
+		c, next, err := st.buildShardChunk(st.cur, st.pos, st.agg, st.seen)
+		if err != nil {
+			return nil, err
+		}
+		st.feet[st.cur].Entries += uint64(len(c.Entries))
+		st.pos = next
+		if st.pos >= st.ab[st.cur][1] && st.cur+1 >= len(st.slices) {
+			st.stage = stageFooter
+		}
+		return c, nil
+
+	case stageFooter:
+		return st.footer()
+
+	default:
+		return nil, io.EOF
+	}
+}
+
+// nextParallel drains the per-shard worker channels in hand-off order.
+func (st *fanoutStream) nextParallel() (*Chunk, error) {
+	for st.cur < len(st.workers) {
+		w := st.workers[st.cur]
+		c, ok := <-w.ch
+		if ok {
+			st.feet[st.cur].Entries += uint64(len(c.Entries))
+			return c, nil
+		}
+		res := <-w.res
+		if res.err != nil {
+			return nil, res.err
+		}
+		if res.partial != nil {
+			if err := st.agg.Add(res.partial); err != nil {
+				return nil, fmt.Errorf("engine: combining shard aggregate: %w", err)
+			}
+		}
+		st.cur++
+	}
+	st.stage = stageFooter
+	return st.footer()
+}
+
+// footer assembles the merged footer: the right boundary proof from the
+// last covering shard, the empty-range predecessor material when nothing
+// was covered, the combined condensed signature, and the per-shard
+// continuity accounting.
+func (st *fanoutStream) footer() (*Chunk, error) {
+	last := st.slices[len(st.slices)-1]
+	right, err := last.SR.ProveBoundary(st.p.h, st.ab[len(st.slices)-1][1], core.Down, st.eff.KeyHi)
+	if err != nil {
+		return nil, fmt.Errorf("engine: right boundary: %w", err)
+	}
+	c := &Chunk{Type: ChunkFooter, Shard: last.Shard, Right: right}
+	if st.total == 0 {
+		// Globally empty range: ship sig(pred) and g(pred-1) so the user
+		// can check pred and succ are adjacent. When pred is the first
+		// slice's left context, g(pred-1) lives one shard to the left —
+		// the one place the lazy prev pin is consulted.
+		sl0 := st.slices[0].SR
+		predIdx := st.ab[0][0] - 1
+		predSig := sig.Signature(sl0.Recs[predIdx].Sig)
+		if st.agg != nil {
+			if err := st.agg.Add(predSig); err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
+			}
+		} else {
+			c.Sigs = []sig.Signature{predSig}
+		}
+		switch {
+		case predIdx > 0:
+			c.PredPrevG = sl0.Recs[predIdx-1].G.Clone()
+		case sl0.Recs[0].Kind == core.KindDelimLeft:
+			// pred is the global left delimiter: the verifier substitutes
+			// the virtual end digest, no PredPrevG needed.
+		default:
+			if st.prev == nil {
+				return nil, fmt.Errorf("engine: fan-out needs the preceding shard for an empty range")
+			}
+			prevSl, ok := st.prev()
+			if !ok || len(prevSl.Recs) < 3 {
+				return nil, fmt.Errorf("engine: fan-out needs the preceding shard for an empty range")
+			}
+			c.PredPrevG = prevSl.Recs[len(prevSl.Recs)-3].G.Clone()
+		}
+	}
+	if st.agg != nil {
+		agg, err := st.agg.Sum()
+		if err != nil {
+			return nil, fmt.Errorf("engine: aggregation: %w", err)
+		}
+		c.AggSig = agg
+	}
+	c.ShardFeet = append([]ShardFoot(nil), st.feet...)
+	st.stage = stageDone
+	return c, nil
+}

@@ -39,7 +39,7 @@ func (p *Publisher) ExecutePaged(roleName string, q Query, pageSize int) (*Paged
 	if err != nil {
 		return nil, err
 	}
-	if err := q.validate(sr.Schema); err != nil {
+	if err := q.Validate(sr.Schema); err != nil {
 		return nil, err
 	}
 	eff, err := rewrite(sr, role, q)

@@ -97,7 +97,7 @@ func (p *Publisher) ExecuteOn(sr *core.SignedRelation, roleName string, q Query)
 	if err != nil {
 		return nil, err
 	}
-	if err := q.validate(sr.Schema); err != nil {
+	if err := q.Validate(sr.Schema); err != nil {
 		return nil, err
 	}
 	eff, err := rewrite(sr, role, q)
@@ -109,12 +109,23 @@ func (p *Publisher) ExecuteOn(sr *core.SignedRelation, roleName string, q Query)
 
 // rewrite normalizes and clamps the query to the role's rights.
 func rewrite(sr *core.SignedRelation, role accessctl.Role, q Query) (Query, error) {
+	return EffectiveQuery(sr.Params, sr.Schema, role, q)
+}
+
+// EffectiveQuery computes the rewrite the owner's policy mandates for a
+// role's query: range defaulting over the open domain (L, U), the role's
+// row-policy clamp, and projection filtering. The publisher executes the
+// effective query, the verifier recomputes it to check the publisher's
+// claim, and the serving layer derives it up front to decompose a range
+// across partition shards before pinning their epochs — all three must
+// agree, which is why the derivation is exported once.
+func EffectiveQuery(p core.Params, schema relation.Schema, role accessctl.Role, q Query) (Query, error) {
 	lo, hi := q.KeyLo, q.KeyHi
-	if lo <= sr.Params.L {
-		lo = sr.Params.L + 1
+	if lo <= p.L {
+		lo = p.L + 1
 	}
-	if hi == 0 || hi >= sr.Params.U {
-		hi = sr.Params.U - 1
+	if hi == 0 || hi >= p.U {
+		hi = p.U - 1
 	}
 	if lo > hi {
 		return Query{}, fmt.Errorf("engine: empty key range [%d, %d]", lo, hi)
@@ -125,7 +136,7 @@ func rewrite(sr *core.SignedRelation, role accessctl.Role, q Query) (Query, erro
 	}
 	eff := q
 	eff.KeyLo, eff.KeyHi = lo, hi
-	eff.Project = role.FilterCols(sr.Schema, q.Project)
+	eff.Project = role.FilterCols(schema, q.Project)
 	return eff, nil
 }
 

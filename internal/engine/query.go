@@ -151,8 +151,9 @@ var (
 	ErrEmptyRewrite    = errors.New("engine: access policy leaves an empty key range")
 )
 
-// validate resolves column names against the schema.
-func (q Query) validate(schema relation.Schema) error {
+// Validate resolves column names against the schema, rejecting filters
+// or projections over columns the relation does not have.
+func (q Query) Validate(schema relation.Schema) error {
 	for _, f := range q.Filters {
 		if schema.ColIndex(f.Col) < 0 {
 			return fmt.Errorf("%w: filter column %q", ErrUnknownColumn, f.Col)

@@ -71,6 +71,14 @@ type Chunk struct {
 	// freely, but then the signature chain fails at (or before) the
 	// footer. Honest transports use it to fail fast on drops and reorders.
 	Seq uint64
+	// Shard tags the partition shard this chunk's content came from when
+	// the relation is range-partitioned (internal/partition); 0 for
+	// unpartitioned streams. Like Seq it is framing metadata: the
+	// signature chain spans shard hand-offs exactly as it spans chunk
+	// boundaries, so a lying tag is caught by the chain; honest transports
+	// and verify.ShardStreamVerifier use it to fail fast with
+	// shard-attributed errors.
+	Shard int
 
 	// Header fields.
 	Relation string
@@ -98,15 +106,33 @@ type Chunk struct {
 	AggSig sig.Signature
 	// PredPrevG supports the empty-range check; see RangeVO.PredPrevG.
 	PredPrevG hashx.Digest
+	// ShardFeet is the per-shard continuity accounting of a fan-out
+	// stream's footer: one entry per covering shard, in hand-off order,
+	// with the entry count that shard contributed. Verifiers cross-check
+	// it against the shard tags they observed so an interior shard whose
+	// chunks went missing is attributed by name before (or in addition
+	// to) the chain failure. Nil on unpartitioned streams.
+	ShardFeet []ShardFoot
 
 	// Error field.
 	Err string
 }
 
+// ShardFoot is one shard's line in a fan-out footer's continuity
+// accounting: which shard, and how many entries it contributed.
+type ShardFoot struct {
+	Shard   int
+	Entries uint64
+}
+
 // ResultStream yields the chunks of one query result in order. Next
-// returns io.EOF after the footer. Streams need no Close: they hold no
-// resources beyond the relation snapshot, which the garbage collector
-// keeps alive exactly as long as the stream is reachable.
+// returns io.EOF after the footer. Single-relation streams need no
+// Close — they hold no resources beyond the relation snapshot, which
+// the garbage collector keeps alive exactly as long as the stream is
+// reachable. Fan-out streams (FanoutStream) additionally implement
+// io.Closer to release their per-shard workers; callers that may
+// abandon a stream mid-drain should type-assert and defer Close
+// (wire.WriteStream does).
 type ResultStream interface {
 	Next() (*Chunk, error)
 }
@@ -124,6 +150,10 @@ type StreamOpts struct {
 	// ChunkRows bounds the entries per chunk; 0 means DefaultChunkRows,
 	// values above MaxChunkRows are clamped.
 	ChunkRows int
+	// FanoutWorkers bounds the per-shard producer goroutines of a
+	// fan-out stream (FanoutStream): 0 picks min(shards, GOMAXPROCS),
+	// 1 forces sequential production. Ignored by single-relation streams.
+	FanoutWorkers int
 }
 
 func (o StreamOpts) chunkRows() int {
@@ -157,7 +187,7 @@ func (p *Publisher) ExecuteStreamOn(sr *core.SignedRelation, roleName string, q 
 	if err != nil {
 		return nil, err
 	}
-	if err := q.validate(sr.Schema); err != nil {
+	if err := q.Validate(sr.Schema); err != nil {
 		return nil, err
 	}
 	eff, err := rewrite(sr, role, q)

@@ -309,3 +309,36 @@ func TestPrecisionScenario(t *testing.T) {
 	var buf bytes.Buffer
 	PrintPrecision(&buf, r)
 }
+
+// TestShardingSweep: the partitioned-publisher sweep must verify its
+// cross-shard streams at every K and show query and delta throughput
+// rising with K on the same data. Exact ratios are hardware-dependent;
+// the shape (monotone improvement, K=4 clearly above 1x) is not.
+func TestShardingSweep(t *testing.T) {
+	if testing.Short() {
+		t.Skip("sharding sweep is slow")
+	}
+	rows, err := env(t).Sharding()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 || rows[0].K != 1 {
+		t.Fatalf("unexpected sweep shape: %+v", rows)
+	}
+	for i, r := range rows {
+		if r.StreamRows == 0 || r.StreamShards != r.K {
+			t.Fatalf("K=%d stream: %+v", r.K, r)
+		}
+		if i > 0 && r.QueryPerSec <= rows[i-1].QueryPerSec*0.9 {
+			t.Fatalf("query throughput not rising: K=%d %.0f q/s after K=%d %.0f q/s",
+				r.K, r.QueryPerSec, rows[i-1].K, rows[i-1].QueryPerSec)
+		}
+	}
+	k4 := rows[2]
+	if k4.QuerySpeed < 1.5 {
+		t.Fatalf("K=4 query speedup %.2fx — partition isolation not paying off", k4.QuerySpeed)
+	}
+	if k4.DeltaSpeed < 1.5 {
+		t.Fatalf("K=4 delta speedup %.2fx — per-shard clones not paying off", k4.DeltaSpeed)
+	}
+}

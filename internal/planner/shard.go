@@ -1,0 +1,89 @@
+package planner
+
+import (
+	"fmt"
+	"strings"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/partition"
+)
+
+// Shard planning: once a relation is range-partitioned, answering a
+// range query means choosing the covering shards and, per shard, the
+// exact record interval to walk. The decomposition itself is forced by
+// the cut keys (partition.Spec.Decompose); what the planner adds is the
+// exact per-shard cover — computable at the publisher, which holds the
+// slices — and the EXPLAIN rationale the vcbench shard sweep prints
+// alongside its measurements. This mirrors Choose's role for multi-order
+// publications: the verifiable answer is the same either way, the plan
+// just says what it will cost.
+
+// ShardLeg is one shard's part of a fan-out plan.
+type ShardLeg struct {
+	Sub partition.SubRange
+	// Cover is the exact number of records the shard contributes to the
+	// VO (covered entries, before any non-key filtering).
+	Cover int
+}
+
+// ShardPlan is the fan-out plan for one range query over a partitioned
+// relation.
+type ShardPlan struct {
+	Legs []ShardLeg
+	// Cover is the total covered-record count across legs.
+	Cover int
+	// Explain is a human-readable rationale.
+	Explain string
+}
+
+// PlanShards decomposes an effective range over a partition and counts
+// the exact per-shard covers. slices must be the partition's shard
+// slices in shard order (as pinned by the serving layer); lo and hi must
+// already be the effective (rewritten) range.
+func PlanShards(spec partition.Spec, slices []*core.SignedRelation, lo, hi uint64) (ShardPlan, error) {
+	if err := spec.Validate(); err != nil {
+		return ShardPlan{}, err
+	}
+	if len(slices) != spec.K() {
+		return ShardPlan{}, fmt.Errorf("planner: %d slices for %d shards", len(slices), spec.K())
+	}
+	sub := spec.Decompose(lo, hi)
+	if len(sub) == 0 {
+		return ShardPlan{}, ErrNoPlan
+	}
+	plan := ShardPlan{Legs: make([]ShardLeg, len(sub))}
+	var parts []string
+	for i, sr := range sub {
+		a, b := slices[sr.Shard].RangeIndices(sr.Lo, sr.Hi)
+		plan.Legs[i] = ShardLeg{Sub: sr, Cover: b - a}
+		plan.Cover += b - a
+		parts = append(parts, fmt.Sprintf("shard %d covers %d", sr.Shard, b-a))
+	}
+	if len(sub) == 1 {
+		plan.Explain = fmt.Sprintf("single-shard route: %s record(s) on shard %d of %d",
+			fmt.Sprint(plan.Cover), sub[0].Shard, spec.K())
+	} else {
+		plan.Explain = fmt.Sprintf("fan-out over %d of %d shards (%s), %d records total",
+			len(sub), spec.K(), strings.Join(parts, ", "), plan.Cover)
+	}
+	return plan, nil
+}
+
+// PlanShardQuery is PlanShards for a raw query: it computes the
+// effective rewrite first (the same derivation publisher and verifier
+// use) and then plans the fan-out.
+func PlanShardQuery(spec partition.Spec, slices []*core.SignedRelation, q engine.Query) (ShardPlan, error) {
+	if len(slices) == 0 {
+		return ShardPlan{}, ErrNoPlan
+	}
+	// The unrestricted zero role: shard planning is policy-independent
+	// (the role clamp only narrows the range, never the shard choice
+	// logic), and the serving layer re-derives the clamped range itself.
+	eff, err := engine.EffectiveQuery(slices[0].Params, slices[0].Schema, accessctl.Role{}, q)
+	if err != nil {
+		return ShardPlan{}, err
+	}
+	return PlanShards(spec, slices, eff.KeyLo, eff.KeyHi)
+}

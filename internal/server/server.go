@@ -29,6 +29,7 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"strings"
 	"sync"
 	"sync/atomic"
 
@@ -60,10 +61,17 @@ const DefaultCacheSize = 1024
 // query executor, and a VO cache. All exported methods may be called
 // concurrently.
 type Server struct {
-	h     *hashx.Hasher
-	exec  *engine.Publisher
-	store *Store
-	cache *voCache
+	h      *hashx.Hasher
+	pub    *sig.PublicKey
+	policy accessctl.Policy
+	exec   *engine.Publisher
+	store  *Store
+	cache  *voCache
+
+	// parts registers the range-partitioned relations; their shard
+	// slices live in the store under internal per-shard names.
+	partMu sync.RWMutex
+	parts  map[string]*partTable
 
 	queries, batches, deltasApplied, errors atomic.Uint64
 	streams, streamChunks, streamBytes      atomic.Uint64
@@ -83,10 +91,13 @@ func New(cfg Config) *Server {
 	exec := engine.NewPublisher(cfg.Hasher, cfg.Pub, cfg.Policy)
 	exec.Aggregate = !cfg.Individual
 	s := &Server{
-		h:     cfg.Hasher,
-		exec:  exec,
-		store: NewStore(cfg.Hasher, cfg.Pub),
-		cache: newVOCache(size),
+		h:      cfg.Hasher,
+		pub:    cfg.Pub,
+		policy: cfg.Policy,
+		exec:   exec,
+		store:  NewStore(cfg.Hasher, cfg.Pub),
+		cache:  newVOCache(size),
+		parts:  map[string]*partTable{},
 	}
 	register(s)
 	return s
@@ -97,7 +108,15 @@ func (s *Server) Close() { unregister(s) }
 
 // AddRelation publishes a relation snapshot (optionally validating every
 // signature first, as a publisher receiving an untrusted feed must).
+// The partition registry lock is held across the duplicate check and the
+// store write so a concurrent AddPartition of the same name cannot
+// interleave and silently shadow this relation in the query router.
 func (s *Server) AddRelation(sr *core.SignedRelation, validate bool) error {
+	s.partMu.Lock()
+	defer s.partMu.Unlock()
+	if s.parts[sr.Schema.Name] != nil {
+		return fmt.Errorf("%w: %q", ErrAlreadyHosted, sr.Schema.Name)
+	}
 	return s.store.AddRelation(sr, validate)
 }
 
@@ -106,7 +125,13 @@ func (s *Server) AddRelation(sr *core.SignedRelation, validate bool) error {
 // the pre-delta snapshot, later ones see the post-delta epoch, and both
 // produce VOs that verify.
 func (s *Server) ApplyDelta(d delta.Delta) (uint64, error) {
-	epoch, err := s.store.ApplyDelta(d)
+	var epoch uint64
+	var err error
+	if pt := s.partFor(d.Relation); pt != nil {
+		epoch, err = s.applyPartitionedDelta(pt, d)
+	} else {
+		epoch, err = s.store.ApplyDelta(d)
+	}
 	if err != nil {
 		s.errors.Add(1)
 		return 0, err
@@ -120,6 +145,9 @@ func (s *Server) ApplyDelta(d delta.Delta) (uint64, error) {
 // before.
 func (s *Server) Query(role string, q engine.Query) (*engine.Result, error) {
 	s.queries.Add(1)
+	if pt := s.partFor(q.Relation); pt != nil {
+		return s.queryPartitioned(pt, role, q)
+	}
 	sr, epoch, ok := s.store.View(q.Relation)
 	if !ok {
 		s.errors.Add(1)
@@ -155,6 +183,15 @@ func (s *Server) queryOn(sr *core.SignedRelation, epoch uint64, role string, q e
 func (s *Server) QueryStream(role string, q engine.Query, chunkRows int) (engine.ResultStream, error) {
 	s.queries.Add(1)
 	s.streams.Add(1)
+	if pt := s.partFor(q.Relation); pt != nil {
+		var prevUsed bool
+		st, err := s.partitionedStream(pt, role, q, engine.StreamOpts{ChunkRows: chunkRows}, &prevUsed)
+		if err != nil {
+			s.errors.Add(1)
+			return nil, err
+		}
+		return st, nil
+	}
 	sr, _, ok := s.store.View(q.Relation)
 	if !ok {
 		s.errors.Add(1)
@@ -194,6 +231,12 @@ func (s *Server) QueryBatch(role string, qs []engine.Query) ([]*engine.Result, [
 	pins := map[string]pinned{}
 	for i, q := range qs {
 		s.queries.Add(1)
+		if pt := s.partFor(q.Relation); pt != nil {
+			// Partitioned relations pin per item; single-shard items
+			// still hit the per-shard VO cache.
+			results[i], errs[i] = s.queryPartitioned(pt, role, q)
+			continue
+		}
 		pin, seen := pins[q.Relation]
 		if !seen {
 			pin.sr, pin.epoch, pin.ok = s.store.View(q.Relation)
@@ -222,11 +265,33 @@ type Stats struct {
 	Streams, StreamChunks, StreamBytes uint64
 	Epoch                              uint64
 	Relations                          map[string]int
-	Cache                              CacheStats
+	// Partitions carries the per-shard counters of every partitioned
+	// relation: sub-queries and deltas routed per shard, per-shard
+	// epochs, fan-out and hand-off-retry totals.
+	Partitions map[string]PartitionStats `json:",omitempty"`
+	Cache      CacheStats
 }
 
 // Stats snapshots the counters.
 func (s *Server) Stats() Stats {
+	rels := map[string]int{}
+	for name, n := range s.store.Relations() {
+		if strings.ContainsRune(name, 0) {
+			continue // internal shard entry, reported under Partitions
+		}
+		rels[name] = n
+	}
+	s.partMu.RLock()
+	for name, pt := range s.parts {
+		total := 0
+		for i := 0; i < pt.spec.K(); i++ {
+			if sl, _, ok := s.store.View(shardName(name, i)); ok {
+				total += sl.Len()
+			}
+		}
+		rels[name] = total
+	}
+	s.partMu.RUnlock()
 	return Stats{
 		Queries:       s.queries.Load(),
 		Batches:       s.batches.Load(),
@@ -236,7 +301,8 @@ func (s *Server) Stats() Stats {
 		StreamChunks:  s.streamChunks.Load(),
 		StreamBytes:   s.streamBytes.Load(),
 		Epoch:         s.store.Epoch(),
-		Relations:     s.store.Relations(),
+		Relations:     rels,
+		Partitions:    s.partitionStats(),
 		Cache:         s.cache.Stats(),
 	}
 }

@@ -92,11 +92,22 @@ func (s *Store) AddRelation(sr *core.SignedRelation, validate bool) error {
 			return fmt.Errorf("server: ingest validation: %w", err)
 		}
 	}
-	sh := s.shardFor(sr.Schema.Name)
+	_ = s.AddNamed(sr.Schema.Name, sr)
+	return nil
+}
+
+// AddNamed publishes a relation snapshot under an explicit store key,
+// returning the new epoch. The partition layer uses it to host each
+// shard slice of one relation as an independent entry — giving every
+// shard its own epoch and writer lock. No validation happens here:
+// slices cannot be validated in isolation (their edge signatures bind
+// records the slice does not hold), so callers validate the whole set
+// first (partition.Set.Validate) or at the delta layer.
+func (s *Store) AddNamed(name string, sr *core.SignedRelation) uint64 {
+	sh := s.shardFor(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
-	s.publish(sh, sr.Schema.Name, sr)
-	return nil
+	return s.publish(sh, name, sr)
 }
 
 // ApplyDelta applies an owner update batch to the named relation live:

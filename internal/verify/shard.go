@@ -1,0 +1,185 @@
+package verify
+
+import (
+	"errors"
+	"fmt"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/engine"
+	"vcqr/internal/partition"
+)
+
+// ChunkVerifier is the incremental verification interface a streaming
+// transport drives: one Consume per chunk in arrival order, then Finish
+// at end-of-stream. StreamVerifier implements it for unpartitioned
+// streams, ShardStreamVerifier for fan-out streams over a partitioned
+// publication.
+type ChunkVerifier interface {
+	Consume(c *engine.Chunk) ([]engine.Row, error)
+	Finish() error
+}
+
+// Shard-level stream failures. Like the chunk-shape errors, they mean
+// "reject the stream"; unlike the signature errors they fire as early as
+// the offending chunk, attributing the failure to a shard by index.
+var (
+	// ErrShardSequence reports chunks whose shard tags contradict the
+	// authenticated partition spec: a hand-off that skips a covering
+	// shard, goes backwards, or names a shard outside the cover.
+	ErrShardSequence = errors.New("verify: shard chunks out of sequence")
+	// ErrShardSpan reports an entry whose disclosed key lies outside the
+	// span of the shard its chunk is tagged with.
+	ErrShardSpan = errors.New("verify: entry key outside its shard's span")
+	// ErrShardTruncated reports a footer that arrived while interior
+	// covering shards had not delivered their chunks.
+	ErrShardTruncated = errors.New("verify: stream ended before all covering shards")
+	// ErrShardContinuity reports a footer whose per-shard accounting
+	// does not match the chunks actually observed.
+	ErrShardContinuity = errors.New("verify: footer shard accounting does not match observed chunks")
+)
+
+// ShardStreamVerifier verifies a fan-out stream from a range-partitioned
+// publisher. Soundness comes entirely from the wrapped StreamVerifier —
+// the signature chain spans shard hand-offs exactly as it spans chunk
+// boundaries, so a dropped or reordered shard is caught no later than
+// the footer's condensed signature. What the wrapper adds, using the
+// partition spec obtained over the authenticated channel, is fail-fast
+// attribution: shard tags must walk the covering shards in hand-off
+// order, disclosed keys must lie inside the tagged shard's span, and the
+// footer's per-shard accounting must match what was observed — so an
+// interior shard whose chunks went missing is named the moment its slot
+// is skipped, not after the whole stream has been consumed.
+type ShardStreamVerifier struct {
+	inner *StreamVerifier
+	spec  partition.Spec
+	sub   []partition.SubRange // covering sub-ranges, hand-off order
+
+	pos     int  // index into sub of the shard currently delivering
+	started bool // first entries chunk seen
+	counts  map[int]uint64
+	err     error
+}
+
+// NewShardStreamVerifier starts verification of one fan-out stream. The
+// spec is the partition layout from the owner's authenticated parameters;
+// q and role are the user's own query and rights, checked against the
+// publisher's claimed rewrite exactly as in the unpartitioned verifier.
+// Construction fails if the rewrite leaves an empty range (the same
+// condition under which the publisher refuses the query).
+func (v *Verifier) NewShardStreamVerifier(spec partition.Spec, q engine.Query, role accessctl.Role) (*ShardStreamVerifier, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	eff, err := engine.EffectiveQuery(v.Params, v.Schema, role, q)
+	if err != nil {
+		return nil, err
+	}
+	sub := spec.Decompose(eff.KeyLo, eff.KeyHi)
+	if len(sub) == 0 {
+		return nil, fmt.Errorf("%w: effective range outside every shard span", partition.ErrSpec)
+	}
+	return &ShardStreamVerifier{
+		inner:  v.NewStreamVerifier(q, role),
+		spec:   spec,
+		sub:    sub,
+		counts: make(map[int]uint64, len(sub)),
+	}, nil
+}
+
+// Done reports whether the footer has been consumed successfully.
+func (sv *ShardStreamVerifier) Done() bool { return sv.inner.Done() }
+
+// Finish must be called when the transport reports end-of-stream.
+func (sv *ShardStreamVerifier) Finish() error {
+	if sv.err != nil {
+		return sv.err
+	}
+	return sv.inner.Finish()
+}
+
+// Consume verifies one chunk: the full chain/boundary/signature checks of
+// the inner verifier first, then the shard bookkeeping. Any error is
+// terminal for the stream.
+func (sv *ShardStreamVerifier) Consume(c *engine.Chunk) ([]engine.Row, error) {
+	if sv.err != nil {
+		return nil, sv.err
+	}
+	rows, err := sv.inner.Consume(c)
+	if err != nil {
+		sv.err = err
+		return nil, err
+	}
+	if err := sv.track(c); err != nil {
+		sv.err = err
+		return nil, err
+	}
+	return rows, nil
+}
+
+func (sv *ShardStreamVerifier) track(c *engine.Chunk) error {
+	switch c.Type {
+	case engine.ChunkHeader:
+		if c.Shard != sv.sub[0].Shard {
+			return fmt.Errorf("%w: header from shard %d, cover starts at %d", ErrShardSequence, c.Shard, sv.sub[0].Shard)
+		}
+		return nil
+
+	case engine.ChunkEntries:
+		switch {
+		case c.Shard == sv.sub[sv.pos].Shard:
+			// Still inside the current shard's run.
+		case sv.pos+1 < len(sv.sub) && c.Shard == sv.sub[sv.pos+1].Shard:
+			// Hand-off to the next covering shard. Skipping straight past
+			// it would mean an interior shard delivered nothing — interior
+			// shards always own at least one covered record, so a longer
+			// jump is a dropped shard, rejected below.
+			sv.pos++
+		default:
+			want := fmt.Sprintf("shard %d", sv.sub[sv.pos].Shard)
+			if sv.pos+1 < len(sv.sub) {
+				want += fmt.Sprintf(" or a hand-off to shard %d", sv.sub[sv.pos+1].Shard)
+			}
+			return fmt.Errorf("%w: entries from shard %d while expecting %s",
+				ErrShardSequence, c.Shard, want)
+		}
+		span := sv.sub[sv.pos]
+		for _, e := range c.Entries {
+			if e.Mode == engine.EntryResult || e.Mode == engine.EntryFilteredVisible {
+				if e.Key < span.Lo || e.Key > span.Hi {
+					return fmt.Errorf("%w: key %d in shard %d covering [%d,%d]",
+						ErrShardSpan, e.Key, span.Shard, span.Lo, span.Hi)
+				}
+			}
+		}
+		sv.started = true
+		sv.counts[span.Shard] += uint64(len(c.Entries))
+		return nil
+
+	case engine.ChunkFooter:
+		// Only the last covering shard may still be outstanding (its part
+		// of the range can be legitimately empty of records); anything
+		// earlier means interior shards went missing.
+		if sv.started && sv.pos < len(sv.sub)-2 {
+			return fmt.Errorf("%w: footer after shard %d of %d covering shards",
+				ErrShardTruncated, sv.sub[sv.pos].Shard, len(sv.sub))
+		}
+		if len(c.ShardFeet) != len(sv.sub) {
+			return fmt.Errorf("%w: footer accounts %d shards, cover is %d",
+				ErrShardContinuity, len(c.ShardFeet), len(sv.sub))
+		}
+		for i, f := range c.ShardFeet {
+			if f.Shard != sv.sub[i].Shard {
+				return fmt.Errorf("%w: footer names shard %d at position %d, cover has %d",
+					ErrShardContinuity, f.Shard, i, sv.sub[i].Shard)
+			}
+			if f.Entries != sv.counts[f.Shard] {
+				return fmt.Errorf("%w: shard %d claims %d entries, observed %d",
+					ErrShardContinuity, f.Shard, f.Entries, sv.counts[f.Shard])
+			}
+		}
+		return nil
+
+	default:
+		return nil
+	}
+}

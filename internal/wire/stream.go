@@ -100,6 +100,11 @@ type StreamRequest struct {
 // Publisher-side errors after the first frame are sent in-band as a
 // ChunkError frame — the HTTP status is long gone by then.
 func WriteStream(w io.Writer, st engine.ResultStream) error {
+	// Fan-out streams hold per-shard workers; release them if the drain
+	// aborts early (a fully drained stream's Close is a no-op).
+	if c, ok := st.(io.Closer); ok {
+		defer c.Close()
+	}
 	flush := func() {}
 	switch f := w.(type) {
 	case http.Flusher:
@@ -162,6 +167,15 @@ func (cr *countingReader) Read(p []byte) (int, error) {
 // the owner's key when QueryStream returns nil. Callers that must not
 // act on provisional rows should buffer until it returns.
 func (c *Client) QueryStream(v *verify.Verifier, role accessctl.Role, roleName string, q engine.Query, chunkRows int, fn func(engine.Row) error) (StreamStats, error) {
+	return c.QueryStreamWith(v.NewStreamVerifier(q, role), roleName, q, chunkRows, fn)
+}
+
+// QueryStreamWith is QueryStream over an explicit chunk verifier — the
+// seam that lets partitioned publications plug in the shard-aware
+// verifier (verify.ShardStreamVerifier) while unpartitioned clients keep
+// the plain incremental one. The verifier must be fresh: it is consumed
+// by this one stream.
+func (c *Client) QueryStreamWith(sv verify.ChunkVerifier, roleName string, q engine.Query, chunkRows int, fn func(engine.Row) error) (StreamStats, error) {
 	var stats StreamStats
 	httpc := c.HTTP
 	if httpc == nil {
@@ -181,7 +195,6 @@ func (c *Client) QueryStream(v *verify.Verifier, role accessctl.Role, roleName s
 	}
 
 	cr := &countingReader{r: resp.Body}
-	sv := v.NewStreamVerifier(q, role)
 	for {
 		chunk, err := ReadChunkFrame(cr)
 		if err == io.EOF {

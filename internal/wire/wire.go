@@ -18,8 +18,51 @@ import (
 	"vcqr/internal/core"
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
+	"vcqr/internal/partition"
 	"vcqr/internal/relation"
 )
+
+// Snapshot is the on-disk publication format vcsign writes and vcserve
+// loads: either a plain signed relation or a partitioned set. The
+// encoding is a short magic prefix followed by gob, so pre-partitioning
+// snapshot files (bare gob relations) remain loadable via the fallback
+// in DecodeSnapshot.
+type Snapshot struct {
+	Relation  *core.SignedRelation
+	Partition *partition.Set
+}
+
+// snapMagic prefixes Snapshot encodings; bare-relation files (the
+// pre-partitioning format) lack it.
+var snapMagic = []byte("vcqr-snapshot-1\n")
+
+// EncodeSnapshot serializes a publication snapshot.
+func EncodeSnapshot(snap *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	buf.Write(snapMagic)
+	if err := gob.NewEncoder(&buf).Encode(snap); err != nil {
+		return nil, fmt.Errorf("wire: encode snapshot: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeSnapshot deserializes a publication snapshot, transparently
+// accepting the legacy bare-relation format. Publishers must still
+// validate the contents against the owner's public key.
+func DecodeSnapshot(data []byte) (*Snapshot, error) {
+	if !bytes.HasPrefix(data, snapMagic) {
+		sr, err := DecodeRelation(data)
+		if err != nil {
+			return nil, err
+		}
+		return &Snapshot{Relation: sr}, nil
+	}
+	var snap Snapshot
+	if err := gob.NewDecoder(bytes.NewReader(data[len(snapMagic):])).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("wire: decode snapshot: %w", err)
+	}
+	return &snap, nil
+}
 
 // ClientParams is everything a user needs from the owner over an
 // authenticated channel to verify results: the public key, the domain
@@ -31,6 +74,12 @@ type ClientParams struct {
 	Params core.Params
 	Schema relation.Schema
 	Roles  map[string]accessctl.Role
+	// Partition is the shard layout when the publication is
+	// range-partitioned, nil otherwise. It is advisory for soundness (the
+	// signature chain alone proves completeness) but lets stream clients
+	// run the fail-fast shard hand-off checks of
+	// verify.ShardStreamVerifier.
+	Partition *partition.Spec
 }
 
 // WriteClientParams writes the parameters file the owner distributes.

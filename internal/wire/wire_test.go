@@ -9,6 +9,7 @@ import (
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
 	"vcqr/internal/owner"
+	"vcqr/internal/partition"
 	"vcqr/internal/sig"
 	"vcqr/internal/verify"
 	"vcqr/internal/wire"
@@ -219,5 +220,57 @@ func TestResultGobRoundTrip(t *testing.T) {
 	v := verify.New(h, o.PublicKey(), sr.Params, sr.Schema)
 	if _, err := v.VerifyResult(q, role, got); err != nil {
 		t.Fatalf("decoded result failed verification: %v", err)
+	}
+}
+
+// TestSnapshotRoundTrip: the magic-prefixed snapshot format carries both
+// plain and partitioned publications, and transparently falls back to
+// the legacy bare-relation encoding.
+func TestSnapshotRoundTrip(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Employees(workload.EmployeeConfig{N: 24, L: 0, U: 1 << 20, PhotoSize: 8, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := partition.Split(sr, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	blob, err := wire.EncodeSnapshot(&wire.Snapshot{Partition: set})
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err := wire.DecodeSnapshot(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Partition == nil || snap.Relation != nil {
+		t.Fatal("partitioned snapshot decoded wrong")
+	}
+	if err := snap.Partition.Validate(h, o.PublicKey()); err != nil {
+		t.Fatalf("decoded partition set invalid: %v", err)
+	}
+
+	// Legacy fallback: a bare gob relation decodes as an unpartitioned
+	// snapshot.
+	legacy, err := wire.EncodeRelation(sr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap, err = wire.DecodeSnapshot(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Relation == nil || snap.Partition != nil {
+		t.Fatal("legacy snapshot decoded wrong")
+	}
+	if err := snap.Relation.Validate(h, o.PublicKey()); err != nil {
+		t.Fatal(err)
 	}
 }
