@@ -16,9 +16,18 @@ test:
 race:
 	$(GO) test -race ./...
 
-# bench runs the full paper-evaluation + serving benchmark suite.
+# bench runs the full paper-evaluation + serving benchmark suite and
+# refreshes the committed crypto fast-path trajectory (BENCH_crypto.json
+# — the file CI uploads and future PRs diff against).
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
+	$(GO) run ./cmd/vcbench -exp crypto -out BENCH_crypto.json
+
+# bench-smoke is the CI-sized slice of bench: one iteration of the Go
+# benchmarks and the crypto sweep at reduced scale.
+bench-smoke:
+	$(GO) test -run xxx -bench . -benchtime 1x .
+	$(GO) run ./cmd/vcbench -exp crypto -short -out BENCH_crypto.json
 
 # fuzz smoke-tests the wire chunk-frame decoder.
 fuzz:

@@ -634,6 +634,42 @@ func BenchmarkStreamQuery(b *testing.B) {
 	})
 }
 
+// --- E-crypto: aggregation fast path ------------------------------------
+
+// BenchmarkCryptoAggregate compares the two condensed-signature paths on
+// the shared 512-record fixture: the naive O(|Q|) per-record fold against
+// the epoch product tree's O(log n) range lookup. The full sweep (|Q| up
+// to 2^16, shard fan-out, delta cutover) lives in `vcbench -exp crypto`.
+func BenchmarkCryptoAggregate(b *testing.B) {
+	f := sharedFixture(b)
+	pub := env(b).Key.Public()
+	n := f.sr.Len()
+	sigs := make([]sig.Signature, 0, n)
+	for i := 1; i <= n; i++ {
+		sigs = append(sigs, sig.Signature(f.sr.Recs[i].Sig))
+	}
+	ix := f.sr.AggIndex()
+	if ix == nil {
+		b.Fatal("fixture relation carries no crypto index")
+	}
+	b.Run("naive", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pub.Aggregate(sigs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("tree", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := ix.RangeAggregate(1, n+1); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 func benchName(prefix string, v int) string {
 	return prefix + "=" + itoa(v)
 }

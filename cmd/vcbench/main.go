@@ -11,12 +11,18 @@
 // Experiments: fig9, fig10, table1, cuser, vosize, update, ablation,
 // attacks, precision, delta, multiorder, all — plus the serving-path
 // experiments "server" (HTTP /query + /batch through internal/server),
-// "stream" (streaming vs materialized, end to end) and "shard" (the
+// "stream" (streaming vs materialized, end to end), "shard" (the
 // K-way partitioned-publisher sweep: query and delta throughput at
-// K ∈ {1,2,4,8} on the same data, with verified cross-shard streams).
+// K ∈ {1,2,4,8} on the same data, with verified cross-shard streams)
+// and "crypto" (the aggregation fast path: product-tree vs naive
+// condensed-signature assembly across |Q| and shard counts, plus the
+// delta-cutover index maintenance comparison; pass -out to also write
+// the machine-readable perf trajectory, e.g. -out BENCH_crypto.json as
+// `make bench` and CI do).
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -26,8 +32,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
+	out := flag.String("out", "", "machine-readable output path for the crypto experiment (default: no file written; make bench and CI pass BENCH_crypto.json)")
 	flag.Parse()
 
 	env, err := experiments.NewEnv(*short)
@@ -148,6 +155,24 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintSharding(w, rows)
+	}
+	if run("crypto") {
+		ran = true
+		r, err := env.Crypto()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCrypto(w, r)
+		if *out != "" {
+			blob, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *out)
+		}
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

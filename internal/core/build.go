@@ -22,6 +22,14 @@ type SignedRelation struct {
 	// Recs[0] is the left delimiter (key L), Recs[len-1] the right
 	// delimiter (key U), and Recs[1..n] the data records in key order.
 	Recs []SignedRecord
+
+	// aggIdx is the optional per-epoch crypto index (see aggindex.go):
+	// product trees over the entry signatures and their FDH values that
+	// turn contiguous-range aggregation into an O(log n) operation.
+	// Unexported so it never travels in gob snapshots — publishers
+	// rebuild it at publish time. Owner-side mutators that edit Recs
+	// without index bookkeeping detach it (correct-but-slow fallback).
+	aggIdx *AggIndex
 }
 
 // ErrRelationMismatch reports a relation whose domain differs from Params.
@@ -292,9 +300,13 @@ func (sr *SignedRelation) Validate(h *hashx.Hasher, pub *sig.PublicKey) error {
 }
 
 // Clone returns a deep copy of the signed relation (used by publishers to
-// keep a pre-delta snapshot and by tests).
+// keep a pre-delta snapshot and by tests). The crypto index is carried
+// over by reference — it is persistent (immutable nodes), so the clone
+// and the original can diverge via index updates without affecting each
+// other; callers that mutate Recs directly must RefreshAggIndex (or
+// detach) before serving aggregates.
 func (sr *SignedRelation) Clone() *SignedRelation {
-	out := &SignedRelation{Params: sr.Params, Schema: sr.Schema}
+	out := &SignedRelation{Params: sr.Params, Schema: sr.Schema, aggIdx: sr.aggIdx}
 	out.Recs = make([]SignedRecord, len(sr.Recs))
 	for i, r := range sr.Recs {
 		out.Recs[i] = r.Clone()
@@ -304,10 +316,17 @@ func (sr *SignedRelation) Clone() *SignedRelation {
 
 // VerifyEntrySig checks the formula-(1) signature of entry i against the
 // stored g digests of its neighbours. This is the cheap local check a
-// publisher runs on records touched by an incremental update.
+// publisher runs on records touched by an incremental update. When a
+// crypto index is attached its per-record FDH cache answers without
+// re-deriving the full-domain hash (the cached leaf is tag-checked
+// against the recomputed signed digest, so staleness degrades to the
+// slow path, never to a wrong verdict).
 func (sr *SignedRelation) VerifyEntrySig(h *hashx.Hasher, pub *sig.PublicKey, i int) bool {
 	if i < 0 || i >= len(sr.Recs) {
 		return false
+	}
+	if ix := sr.aggIdx; ix != nil && ix.pub == pub && ix.Len() == len(sr.Recs) {
+		return ix.VerifyEntry(h, sr, i)
 	}
 	return pub.Verify(sr.sigDigest(h, i), sr.Recs[i].Sig)
 }
@@ -342,6 +361,7 @@ func (sr *SignedRelation) CheckEntryDigests(h *hashx.Hasher, i int) error {
 // record and its two neighbours. It returns the number of signatures
 // recomputed (always 3) — the Section 6.3 update-cost story.
 func (sr *SignedRelation) Insert(h *hashx.Hasher, key *sig.PrivateKey, t relation.Tuple) (resigned int, err error) {
+	sr.aggIdx = nil // owner-side edit: no index bookkeeping here
 	if len(t.Attrs) != len(sr.Schema.Cols) {
 		return 0, relation.ErrArity
 	}
@@ -375,6 +395,7 @@ func (sr *SignedRelation) Insert(h *hashx.Hasher, key *sig.PrivateKey, t relatio
 // neighbours. It reports the number of signatures recomputed (2), or an
 // error if the record does not exist.
 func (sr *SignedRelation) Delete(h *hashx.Hasher, key *sig.PrivateKey, k, rowID uint64) (resigned int, err error) {
+	sr.aggIdx = nil // owner-side edit: no index bookkeeping here
 	pos := -1
 	for i := 1; i < len(sr.Recs)-1; i++ {
 		if sr.Recs[i].Key() == k && sr.Recs[i].Tuple.RowID == rowID {
@@ -400,6 +421,7 @@ func (sr *SignedRelation) Delete(h *hashx.Hasher, key *sig.PrivateKey, k, rowID 
 // (key, rowID) and re-signs the record and its two neighbours (3
 // signatures: the doubly-linked-list locality argument of Section 6.3).
 func (sr *SignedRelation) UpdateAttrs(h *hashx.Hasher, key *sig.PrivateKey, k, rowID uint64, attrs []relation.Value) (resigned int, err error) {
+	sr.aggIdx = nil // owner-side edit: no index bookkeeping here
 	if len(attrs) != len(sr.Schema.Cols) {
 		return 0, relation.ErrArity
 	}

@@ -125,6 +125,10 @@ func apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 		return err
 	}
 	sr.Recs = scratch.Recs
+	// The crypto index followed the ops on the scratch copy (ApplyOps
+	// keeps it in lock-step); adopt it with the records so the next epoch
+	// keeps the O(log n) aggregation path without a rebuild.
+	sr.SetAggIndex(scratch.AggIndex())
 	return nil
 }
 
@@ -136,6 +140,14 @@ func apply(h *hashx.Hasher, pub *sig.PublicKey, sr *core.SignedRelation, d Delta
 // transactions: the serving layer applies every shard's sub-batch,
 // stitches the cross-shard mirrors, and only then validates — edge
 // neighbourhoods cannot be checked before their mirrors are fresh.
+//
+// When sr carries a crypto index (core.AggIndex), it is maintained in
+// lock-step: record inserts and deletes become O(log n) tree updates at
+// the same positions, and the touched entries' leaves are recomputed at
+// the end — the delta-cutover half of the aggregation fast path, costing
+// O(ops · log n) instead of an O(n) index rebuild. Because the index is
+// persistent, the pre-delta epoch's index (shared via Clone) is never
+// disturbed.
 func ApplyOps(sr *core.SignedRelation, d Delta) ([]int, error) {
 	if d.Relation != sr.Schema.Name {
 		return nil, fmt.Errorf("%w: delta for %q, relation %q", ErrRelationName, d.Relation, sr.Schema.Name)
@@ -157,6 +169,7 @@ func ApplyOps(sr *core.SignedRelation, d Delta) ([]int, error) {
 				return nil, fmt.Errorf("%w: delete of missing record (%d, %d)", ErrBadOp, op.Key, op.RowID)
 			}
 			scratch.Recs = append(scratch.Recs[:pos], scratch.Recs[pos+1:]...)
+			scratch.AggIndexDeleteAt(pos)
 			// Renumber: everything at/after pos shifted.
 			shifted := map[int]bool{}
 			for i := range touched {
@@ -187,6 +200,7 @@ func ApplyOps(sr *core.SignedRelation, d Delta) ([]int, error) {
 			scratch.Recs = append(scratch.Recs, core.SignedRecord{})
 			copy(scratch.Recs[pos+1:], scratch.Recs[pos:])
 			scratch.Recs[pos] = op.Rec.Clone()
+			scratch.AggIndexInsertAt(pos)
 			shifted := map[int]bool{}
 			for i := range touched {
 				if i >= pos {
@@ -208,6 +222,10 @@ func ApplyOps(sr *core.SignedRelation, d Delta) ([]int, error) {
 		}
 	}
 	sort.Ints(out)
+	// Re-signed entries changed their σ leaves, and their neighbours'
+	// signed digests changed with them: refresh exactly the touched
+	// neighbourhood's index leaves.
+	scratch.RefreshAggIndex(out)
 	return out, nil
 }
 

@@ -1,0 +1,173 @@
+package engine_test
+
+import (
+	"io"
+	"testing"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/workload"
+)
+
+// streamFixture builds an indexed publisher over a uniform relation for
+// the allocation and fast-path tests.
+func streamFixture(t testing.TB, n int) (*engine.Publisher, *core.SignedRelation) {
+	t.Helper()
+	h := hashx.New()
+	rel, err := workload.Uniform(workload.UniformConfig{
+		N: n, L: 0, U: 1 << 24, PayloadSize: 16, Seed: 99,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := core.NewParams(0, 1<<24, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := core.Build(h, signKey(t), p, rel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pub := engine.NewPublisher(h, signKey(t).Public(), accessctl.NewPolicy(accessctl.Role{Name: "all"}))
+	if err := pub.AddRelation(sr, false); err != nil {
+		t.Fatal(err)
+	}
+	return pub, sr
+}
+
+func drainCount(t testing.TB, st engine.ResultStream) (chunks int) {
+	t.Helper()
+	for {
+		_, err := st.Next()
+		if err == io.EOF {
+			return chunks
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		chunks++
+	}
+}
+
+// TestStreamReuseRecyclesChunks checks the ReuseChunks contract: entry
+// chunks come back as the same *Chunk with the same backing array, and
+// the stream still produces a byte-identical result to the allocating
+// path (via Collect, which copies).
+func TestStreamReuseRecyclesChunks(t *testing.T) {
+	pub, _ := streamFixture(t, 128)
+	q := engine.Query{Relation: "Uniform", KeyLo: 1}
+
+	st, err := pub.ExecuteStream("all", q, engine.StreamOpts{ChunkRows: 16, ReuseChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prev *engine.Chunk
+	sameChunk := 0
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if c.Type == engine.ChunkEntries {
+			if prev != nil && c == prev {
+				sameChunk++
+			}
+			prev = c
+		}
+	}
+	if sameChunk == 0 {
+		t.Fatal("ReuseChunks stream never recycled its chunk struct")
+	}
+
+	// Collect over a reusing stream equals Collect over a fresh one.
+	st1, err := pub.ExecuteStream("all", q, engine.StreamOpts{ChunkRows: 16, ReuseChunks: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	reused, err := engine.Collect(st1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh, err := pub.Execute("all", q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reused.VO.Entries) != len(fresh.VO.Entries) {
+		t.Fatalf("reused stream yielded %d entries, fresh %d", len(reused.VO.Entries), len(fresh.VO.Entries))
+	}
+	if !reused.VO.AggSig.Equal(fresh.VO.AggSig) {
+		t.Fatal("reused stream's condensed signature differs from the fresh path")
+	}
+}
+
+// TestStreamAllocBudget pins the steady-state allocation cost per entry
+// of the reusing stream loop — the "allocation-free serving loop" is
+// really "allocation-bounded": per-entry disclosure material is inherent
+// (it travels in the VO), but the chunk scaffolding, the per-entry maps
+// and the per-signature aggregation arithmetic must not come back.
+func TestStreamAllocBudget(t *testing.T) {
+	const n = 512
+	pub, _ := streamFixture(t, n)
+	q := engine.Query{Relation: "Uniform", KeyLo: 1}
+
+	run := func(reuse bool) float64 {
+		return testing.AllocsPerRun(5, func() {
+			st, err := pub.ExecuteStream("all", q, engine.StreamOpts{ChunkRows: 256, ReuseChunks: reuse})
+			if err != nil {
+				t.Fatal(err)
+			}
+			drainCount(t, st)
+		})
+	}
+	run(true) // warm caches
+	perEntryReuse := run(true) / n
+	perEntryFresh := run(false) / n
+
+	const budget = 16 // measured ~11/entry on go1.24; disclosure material dominates
+	t.Logf("stream allocs/entry: reuse=%.1f fresh=%.1f (budget %d)", perEntryReuse, perEntryFresh, budget)
+	if perEntryReuse > budget {
+		t.Fatalf("reusing stream allocates %.1f/entry, budget %d", perEntryReuse, budget)
+	}
+	// The recycled scaffolding amortizes over ChunkRows entries, so the
+	// per-entry delta is fractional; assert only that reuse never costs
+	// MORE (beyond measurement noise).
+	if perEntryReuse > perEntryFresh+0.5 {
+		t.Fatalf("reusing stream allocates more than the fresh path (%.1f vs %.1f)", perEntryReuse, perEntryFresh)
+	}
+}
+
+// TestIndexedStreamMatchesNaive pins the fast path's output: the same
+// query over the same snapshot with and without the crypto index must
+// produce identical condensed signatures — the tree changes the cost of
+// the product, never its value.
+func TestIndexedStreamMatchesNaive(t *testing.T) {
+	pub, sr := streamFixture(t, 256)
+	if sr.AggIndex() == nil {
+		t.Fatal("publisher did not build the crypto index at ingest")
+	}
+	for _, q := range []engine.Query{
+		{Relation: "Uniform", KeyLo: 1},
+		{Relation: "Uniform", KeyLo: sr.Recs[5].Key(), KeyHi: sr.Recs[200].Key()},
+		{Relation: "Uniform", KeyLo: sr.Recs[9].Key(), KeyHi: sr.Recs[9].Key()},
+		{Relation: "Uniform", KeyLo: sr.Recs[9].Key() + 1, KeyHi: sr.Recs[9].Key() + 1, Project: []string{"Payload"}},
+	} {
+		fast, err := pub.Execute("all", q)
+		if err != nil {
+			t.Fatalf("indexed execute: %v", err)
+		}
+		naive := sr.Clone()
+		naive.SetAggIndex(nil)
+		slow, err := pub.ExecuteOn(naive, "all", q)
+		if err != nil {
+			t.Fatalf("naive execute: %v", err)
+		}
+		if !fast.VO.AggSig.Equal(slow.VO.AggSig) {
+			t.Fatalf("query %+v: indexed AggSig differs from naive", q)
+		}
+	}
+}

@@ -79,6 +79,7 @@ func (p *Publisher) FanoutStream(role accessctl.Role, eff Query, slices []ShardS
 		chunkRows: opts.chunkRows(),
 		ab:        make([][2]int, len(slices)),
 		feet:      make([]ShardFoot, len(slices)),
+		idxs:      make([]*core.AggIndex, len(slices)),
 	}
 	for i, sl := range slices {
 		if i > 0 && sl.Lo != slices[i-1].Hi+1 {
@@ -88,6 +89,12 @@ func (p *Publisher) FanoutStream(role accessctl.Role, eff Query, slices []ShardS
 		st.ab[i] = [2]int{a, b}
 		st.total += b - a
 		st.feet[i] = ShardFoot{Shard: sl.Shard}
+		// Per-shard crypto index: this slice's partial condensed
+		// signature becomes one O(log n) tree lookup, so a K-way fan-out
+		// combines K lookups with K-1 multiplications.
+		if ix := sl.SR.AggIndex(); p.Aggregate && ix != nil && ix.Len() == len(sl.SR.Recs) {
+			st.idxs[i] = ix
+		}
 	}
 	if eff.Distinct {
 		st.seen = map[string]bool{}
@@ -104,6 +111,11 @@ func (p *Publisher) FanoutStream(role accessctl.Role, eff Query, slices []ShardS
 	}
 	if workers > 1 && !eff.Distinct {
 		st.startWorkers()
+	} else {
+		// Chunk recycling is only sound when the producer and consumer
+		// alternate strictly — true of sequential production, never of
+		// worker channels.
+		st.reuse = opts.ReuseChunks
 	}
 	return st, nil
 }
@@ -122,12 +134,18 @@ type fanoutStream struct {
 	ab        [][2]int // per-slice covered interval [a, b)
 	total     int
 	feet      []ShardFoot
+	idxs      []*core.AggIndex // per-slice crypto index (nil = naive fold)
 
 	cur  int // current slice
 	pos  int // next record within current slice (sequential mode)
 	seq  uint64
 	seen map[string]bool
 	agg  *sig.Aggregator
+
+	// Sequential-mode chunk recycling (StreamOpts.ReuseChunks).
+	reuse    bool
+	chunkBuf Chunk
+	entryBuf []VOEntry
 
 	// Parallel mode.
 	workers []*shardWorker
@@ -169,7 +187,7 @@ func (st *fanoutStream) startWorkers() {
 func (st *fanoutStream) runWorker(m int, w *shardWorker) {
 	defer close(w.ch)
 	var agg *sig.Aggregator
-	if st.agg != nil {
+	if st.agg != nil && st.idxs[m] == nil {
 		agg = st.p.pub.NewAggregator()
 	}
 	pos := st.ab[m][0]
@@ -191,7 +209,15 @@ func (st *fanoutStream) runWorker(m int, w *shardWorker) {
 		pos = next
 	}
 	var out shardResult
-	if agg != nil && agg.Count() > 0 {
+	switch a, b := st.ab[m][0], st.ab[m][1]; {
+	case st.agg != nil && st.idxs[m] != nil && b > a:
+		// The shard's whole partial in O(log n) multiplications.
+		sum, err := st.idxs[m].RangeAggregate(a, b)
+		if err != nil {
+			out.err = err
+		}
+		out.partial = sum
+	case agg != nil && agg.Count() > 0:
 		sum, err := agg.Sum()
 		if err != nil {
 			out.err = err
@@ -224,7 +250,13 @@ func (st *fanoutStream) buildShardChunk(m, pos int, agg *sig.Aggregator, seen ma
 		n = st.chunkRows
 	}
 	sl := st.slices[m]
-	c := &Chunk{Type: ChunkEntries, Shard: sl.Shard, Entries: make([]VOEntry, 0, n)}
+	var c *Chunk
+	if st.reuse {
+		st.chunkBuf = Chunk{Type: ChunkEntries, Shard: sl.Shard, Entries: st.entryBuf[:0]}
+		c = &st.chunkBuf
+	} else {
+		c = &Chunk{Type: ChunkEntries, Shard: sl.Shard, Entries: make([]VOEntry, 0, n)}
+	}
 	for i := pos; i < pos+n; i++ {
 		rec := sl.SR.Recs[i]
 		entry, err := st.p.buildEntry(sl.SR, st.role, st.eff, rec, i, seen)
@@ -232,14 +264,20 @@ func (st *fanoutStream) buildShardChunk(m, pos int, agg *sig.Aggregator, seen ma
 			return nil, pos, err
 		}
 		c.Entries = append(c.Entries, entry)
-		if agg != nil {
+		switch {
+		case !st.p.Aggregate:
+			// Aliasing rec.Sig is safe: epoch slices are immutable.
+			c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
+		case st.idxs[m] != nil:
+			// Indexed shard: its partial is one tree lookup at the end.
+		case agg != nil:
 			if err := agg.Add(sig.Signature(rec.Sig)); err != nil {
 				return nil, pos, fmt.Errorf("engine: aggregation: %w", err)
 			}
-		} else {
-			// Aliasing rec.Sig is safe: epoch slices are immutable.
-			c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
 		}
+	}
+	if st.reuse {
+		st.entryBuf = c.Entries
 	}
 	return c, pos + n, nil
 }
@@ -381,6 +419,26 @@ func (st *fanoutStream) footer() (*Chunk, error) {
 				return nil, fmt.Errorf("engine: fan-out needs the preceding shard for an empty range")
 			}
 			c.PredPrevG = prevSl.Recs[len(prevSl.Recs)-3].G.Clone()
+		}
+	}
+	if st.workers == nil && st.agg != nil {
+		// Sequential mode: fold each indexed shard's partial — one
+		// O(log n) tree lookup per shard. (Parallel mode folded partials
+		// as the workers retired; non-indexed sequential shards were
+		// folded entry by entry.)
+		for m := range st.slices {
+			ix := st.idxs[m]
+			a, b := st.ab[m][0], st.ab[m][1]
+			if ix == nil || b <= a {
+				continue
+			}
+			rs, err := ix.RangeAggregate(a, b)
+			if err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
+			}
+			if err := st.agg.Add(rs); err != nil {
+				return nil, fmt.Errorf("engine: combining shard aggregate: %w", err)
+			}
 		}
 	}
 	if st.agg != nil {

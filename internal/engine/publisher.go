@@ -54,11 +54,19 @@ func NewPublisher(h *hashx.Hasher, pub *sig.PublicKey, policy accessctl.Policy) 
 
 // AddRelation ingests a signed relation after validating every digest and
 // signature — the publisher protects itself from a corrupted owner feed.
+// Publishing also builds the relation's crypto index (core.AggIndex) when
+// it does not carry one yet: an O(n) pass here buys every subsequent
+// query O(log n) signature aggregation. An index build failure (malformed
+// signature bytes with validation off) leaves the relation on the naive
+// aggregation path rather than failing ingest.
 func (p *Publisher) AddRelation(sr *core.SignedRelation, validate bool) error {
 	if validate {
 		if err := sr.Validate(p.h, p.pub); err != nil {
 			return fmt.Errorf("engine: ingest validation: %w", err)
 		}
+	}
+	if sr.AggIndex() == nil {
+		_ = sr.BuildAggIndex(p.h, p.pub)
 	}
 	p.mu.Lock()
 	p.rels[sr.Schema.Name] = sr
@@ -237,24 +245,30 @@ func projectCols(schema relation.Schema, project []string) []int {
 }
 
 // disclose splits a tuple's attribute-tree leaves into opened values (the
-// given column indexes) and hidden digests (everything else, including the
-// row-id leaf 0).
+// given column indexes, sorted) and hidden digests (everything else,
+// including the row-id leaf 0). cols is walked in step with the leaves
+// instead of through a set — this runs once per covered record per query,
+// and the two per-entry map allocations were a measurable slice of the
+// streaming loop's garbage.
 func disclose(h *hashx.Hasher, t relation.Tuple, cols []int) ([]DisclosedAttr, []hashx.Digest) {
 	leaves := core.AttrLeaves(h, t)
-	opened := map[int]bool{}
 	disclosed := make([]DisclosedAttr, 0, len(cols))
-	for _, c := range cols {
-		if opened[c+1] {
+	hideCap := len(leaves) - len(cols)
+	if hideCap < 0 {
+		hideCap = 0 // duplicate column requests
+	}
+	hidden := make([]hashx.Digest, 0, hideCap)
+	ci := 0
+	for i, l := range leaves {
+		if ci < len(cols) && cols[ci]+1 == i {
+			c := cols[ci]
+			disclosed = append(disclosed, DisclosedAttr{Col: c, Val: t.Attrs[c]})
+			for ci++; ci < len(cols) && cols[ci] == c; ci++ {
+				// skip duplicate column requests
+			}
 			continue
 		}
-		opened[c+1] = true
-		disclosed = append(disclosed, DisclosedAttr{Col: c, Val: t.Attrs[c]})
-	}
-	hidden := make([]hashx.Digest, 0, len(leaves)-len(opened))
-	for i, l := range leaves {
-		if !opened[i] {
-			hidden = append(hidden, l)
-		}
+		hidden = append(hidden, l)
 	}
 	return disclosed, hidden
 }

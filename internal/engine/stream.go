@@ -154,6 +154,17 @@ type StreamOpts struct {
 	// fan-out stream (FanoutStream): 0 picks min(shards, GOMAXPROCS),
 	// 1 forces sequential production. Ignored by single-relation streams.
 	FanoutWorkers int
+	// ReuseChunks lets the stream recycle its chunk struct and entry
+	// slice across Next calls: a chunk (and its Entries/Sigs backing
+	// arrays) is valid only until the next Next. The per-entry payloads
+	// (disclosed values, digests, signatures) are NOT recycled — copying
+	// a VOEntry out of a reused chunk keeps it valid indefinitely, which
+	// is why Collect and the incremental verifiers are reuse-safe. Set
+	// by drain-style consumers (the server's /stream handler serializes
+	// each chunk before pulling the next); leave off when chunks are
+	// retained. Parallel fan-out production ignores it — chunks crossing
+	// worker channels cannot be recycled safely.
+	ReuseChunks bool
 }
 
 func (o StreamOpts) chunkRows() int {
@@ -194,7 +205,7 @@ func (p *Publisher) ExecuteStreamOn(sr *core.SignedRelation, roleName string, q 
 	if err != nil {
 		return nil, err
 	}
-	return p.newStream(sr, role, eff, opts.chunkRows()), nil
+	return p.newStreamOpts(sr, role, eff, opts), nil
 }
 
 // voStream is the pull-based chunk producer. Memory is O(ChunkRows) per
@@ -214,6 +225,16 @@ type voStream struct {
 	seen      map[string]bool // DISTINCT suppression, nil unless Distinct
 
 	agg *sig.Aggregator // condensed-signature accumulator (Aggregate mode)
+	// idx is the snapshot's crypto index when one is attached: per-entry
+	// signature folding is skipped and the footer's condensed signature
+	// comes from an O(log n) product-tree range query instead.
+	idx *core.AggIndex
+
+	// reuse recycles chunk + entries buffers across Next calls (see
+	// StreamOpts.ReuseChunks).
+	reuse    bool
+	chunkBuf Chunk
+	entryBuf []VOEntry
 
 	stage streamStage
 	err   error // sticky failure
@@ -229,16 +250,27 @@ const (
 )
 
 func (p *Publisher) newStream(sr *core.SignedRelation, role accessctl.Role, eff Query, chunkRows int) *voStream {
+	return p.newStreamOpts(sr, role, eff, StreamOpts{ChunkRows: chunkRows})
+}
+
+func (p *Publisher) newStreamOpts(sr *core.SignedRelation, role accessctl.Role, eff Query, opts StreamOpts) *voStream {
 	a, b := sr.RangeIndices(eff.KeyLo, eff.KeyHi)
 	st := &voStream{
 		p: p, sr: sr, role: role, eff: eff,
-		chunkRows: chunkRows, a: a, b: b, pos: a,
+		chunkRows: opts.chunkRows(), a: a, b: b, pos: a,
+		reuse: opts.ReuseChunks,
 	}
 	if eff.Distinct {
 		st.seen = map[string]bool{}
 	}
 	if p.Aggregate {
 		st.agg = p.pub.NewAggregator()
+		// The fast path: every covered entry's signature is in the index,
+		// so the footer folds ONE O(log n) range product into the
+		// aggregate instead of one multiplication per entry here.
+		if ix := sr.AggIndex(); ix != nil && ix.Len() == len(sr.Recs) {
+			st.idx = ix
+		}
 	}
 	return st
 }
@@ -284,7 +316,13 @@ func (s *voStream) next() (*Chunk, error) {
 		if n > s.chunkRows {
 			n = s.chunkRows
 		}
-		c := &Chunk{Type: ChunkEntries, Entries: make([]VOEntry, 0, n)}
+		var c *Chunk
+		if s.reuse {
+			s.chunkBuf = Chunk{Type: ChunkEntries, Entries: s.entryBuf[:0]}
+			c = &s.chunkBuf
+		} else {
+			c = &Chunk{Type: ChunkEntries, Entries: make([]VOEntry, 0, n)}
+		}
 		for i := s.pos; i < s.pos+n; i++ {
 			rec := s.sr.Recs[i]
 			entry, err := s.p.buildEntry(s.sr, s.role, s.eff, rec, i, s.seen)
@@ -292,14 +330,21 @@ func (s *voStream) next() (*Chunk, error) {
 				return nil, err
 			}
 			c.Entries = append(c.Entries, entry)
-			if s.agg != nil {
+			switch {
+			case s.idx != nil:
+				// Indexed: the footer takes the whole covered run's
+				// product from the tree in O(log n); nothing per entry.
+			case s.agg != nil:
 				if err := s.agg.Add(sig.Signature(rec.Sig)); err != nil {
 					return nil, fmt.Errorf("engine: aggregation: %w", err)
 				}
-			} else {
+			default:
 				// Aliasing rec.Sig is safe: epoch snapshots are immutable.
 				c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
 			}
+		}
+		if s.reuse {
+			s.entryBuf = c.Entries
 		}
 		s.pos += n
 		if s.pos >= s.b {
@@ -328,6 +373,17 @@ func (s *voStream) next() (*Chunk, error) {
 			}
 			if s.a-1 > 0 {
 				c.PredPrevG = s.sr.Recs[s.a-2].G.Clone()
+			}
+		}
+		if s.idx != nil && s.b > s.a {
+			// The covered run's condensed signature in O(log n)
+			// multiplications — this one line is the tentpole speedup.
+			rs, err := s.idx.RangeAggregate(s.a, s.b)
+			if err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
+			}
+			if err := s.agg.Add(rs); err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
 			}
 		}
 		if s.agg != nil {

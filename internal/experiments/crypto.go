@@ -1,0 +1,307 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"vcqr/internal/core"
+	"vcqr/internal/delta"
+	"vcqr/internal/hashx"
+	"vcqr/internal/partition"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// E-crypto: the aggregation fast path, measured at the crypto layer —
+// the exact work the server performs per query to condense per-record
+// RSA signatures, with everything else (boundary proofs, disclosure,
+// transport) stripped away so the asymptotic change is visible:
+//
+//   - naive: the pre-index path — decode and fold |Q| signatures,
+//     O(|Q|) modular multiplications per query;
+//   - tree: the product-tree path — one O(log n) range lookup per
+//     covering shard plus K-1 multiplications to combine partials.
+//
+// The sweep runs |Q| ∈ {2^4 .. 2^16} × K ∈ {1, 4, 8} on the same signed
+// relation, then measures the delta-cutover side: deriving the next
+// epoch's index incrementally (O(ops · log n) persistent tree updates)
+// against rebuilding it from scratch (O(n)).
+
+// CryptoAggRow is one point of the aggregation sweep.
+type CryptoAggRow struct {
+	// Q is the result size (covered records aggregated).
+	Q int `json:"q"`
+	// K is the shard count the range was served across.
+	K int `json:"k"`
+	// NaiveNs and TreeNs are per-query aggregation costs.
+	NaiveNs int64 `json:"naive_ns"`
+	TreeNs  int64 `json:"tree_ns"`
+	// Speedup is NaiveNs / TreeNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// CryptoDeltaRow compares index maintenance strategies across one
+// owner-update cutover.
+type CryptoDeltaRow struct {
+	// N is the relation size; Ops the delta's operation count.
+	N   int `json:"n"`
+	Ops int `json:"delta_ops"`
+	// IncrementalNs is a full delta.Apply with in-lock-step index
+	// maintenance (clone + validate + O(ops log n) tree updates).
+	IncrementalNs int64 `json:"incremental_apply_ns"`
+	// RebuildApplyNs is the same cutover under a rebuild strategy: the
+	// delta applied without an index, then BuildAggIndex from scratch.
+	RebuildApplyNs int64 `json:"rebuild_apply_ns"`
+	// RebuildIndexNs isolates the O(n) index build itself.
+	RebuildIndexNs int64 `json:"rebuild_index_ns"`
+	// Speedup is RebuildApplyNs / IncrementalNs.
+	Speedup float64 `json:"speedup"`
+}
+
+// CryptoResult is the machine-readable output of E-crypto
+// (BENCH_crypto.json).
+type CryptoResult struct {
+	N     int             `json:"n"`
+	Msign int             `json:"msign_bits"`
+	Short bool            `json:"short"`
+	Agg   []CryptoAggRow  `json:"aggregation"`
+	Delta *CryptoDeltaRow `json:"delta"`
+}
+
+// cryptoCover is one shard's contribution to a query range: its index
+// and the covered entry interval.
+type cryptoCover struct {
+	ix   *core.AggIndex
+	a, b int
+}
+
+// timeOp runs fn repeatedly for at least minDuration (and at least once)
+// and returns the per-op cost.
+func timeOp(fn func()) int64 {
+	const minDuration = 50 * time.Millisecond
+	fn() // warm up
+	iters := 0
+	start := time.Now()
+	for {
+		fn()
+		iters++
+		if d := time.Since(start); d >= minDuration {
+			return d.Nanoseconds() / int64(iters)
+		}
+	}
+}
+
+// Crypto runs the aggregation fast-path sweep.
+func (e *Env) Crypto() (*CryptoResult, error) {
+	h := hashx.New()
+	n := e.scale(1 << 16)
+	sr, _, err := e.buildUniform(h, n, 8, 2, 1205)
+	if err != nil {
+		return nil, err
+	}
+	pub := e.Key.Public()
+	res := &CryptoResult{N: n, Msign: pub.SigBytes() * 8, Short: e.Short}
+
+	// Per-K shard slices, each with its own index (K=1 is the whole
+	// relation). Splitting shares record structs, so memory stays O(n).
+	covers := map[int][]*core.SignedRelation{}
+	for _, k := range []int{1, 4, 8} {
+		if k == 1 {
+			master := sr.Clone()
+			if err := master.BuildAggIndex(h, pub); err != nil {
+				return nil, err
+			}
+			covers[1] = []*core.SignedRelation{master}
+			continue
+		}
+		set, err := partition.Split(sr.Clone(), k)
+		if err != nil {
+			return nil, err
+		}
+		for _, sl := range set.Slices {
+			if err := sl.BuildAggIndex(h, pub); err != nil {
+				return nil, err
+			}
+		}
+		covers[k] = set.Slices
+	}
+
+	for q := 16; q <= 1<<16; q *= 4 {
+		if q > n {
+			break
+		}
+		// The naive reference: fold the last q records' signatures, the
+		// O(|Q|) loop the serving path ran before the index existed.
+		sigs := make([]sig.Signature, 0, q)
+		for i := n + 1 - q; i <= n; i++ {
+			sigs = append(sigs, sig.Signature(sr.Recs[i].Sig))
+		}
+		naiveNs := timeOp(func() {
+			if _, err := pub.Aggregate(sigs); err != nil {
+				panic(err)
+			}
+		})
+		// Sanity reference for every K: the tree products must equal the
+		// naive aggregate.
+		want, err := pub.Aggregate(sigs)
+		if err != nil {
+			return nil, err
+		}
+
+		for _, k := range []int{1, 4, 8} {
+			cov, err := coverLast(covers[k], q)
+			if err != nil {
+				return nil, err
+			}
+			got, err := combineCover(pub, cov)
+			if err != nil {
+				return nil, err
+			}
+			if !got.Equal(want) {
+				return nil, fmt.Errorf("crypto: tree aggregate != naive at q=%d k=%d", q, k)
+			}
+			treeNs := timeOp(func() {
+				if _, err := combineCover(pub, cov); err != nil {
+					panic(err)
+				}
+			})
+			res.Agg = append(res.Agg, CryptoAggRow{
+				Q: q, K: k, NaiveNs: naiveNs, TreeNs: treeNs,
+				Speedup: float64(naiveNs) / float64(treeNs),
+			})
+		}
+	}
+
+	dr, err := e.cryptoDelta(h, sr)
+	if err != nil {
+		return nil, err
+	}
+	res.Delta = dr
+	return res, nil
+}
+
+// coverLast maps "the last q data records" onto the slices, returning
+// one (index, interval) pair per covering slice in shard order.
+func coverLast(slices []*core.SignedRelation, q int) ([]cryptoCover, error) {
+	var rev []cryptoCover
+	remaining := q
+	for i := len(slices) - 1; i >= 0 && remaining > 0; i-- {
+		sl := slices[i]
+		ix := sl.AggIndex()
+		if ix == nil {
+			return nil, fmt.Errorf("crypto: slice %d lost its index", i)
+		}
+		// Data records of a slice (or the whole relation) occupy
+		// [1, len-2]; context records and delimiters sit at the ends.
+		owned := len(sl.Recs) - 2
+		take := owned
+		if take > remaining {
+			take = remaining
+		}
+		b := len(sl.Recs) - 1
+		rev = append(rev, cryptoCover{ix: ix, a: b - take, b: b})
+		remaining -= take
+	}
+	if remaining > 0 {
+		return nil, fmt.Errorf("crypto: %d records uncovered", remaining)
+	}
+	for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+		rev[i], rev[j] = rev[j], rev[i]
+	}
+	return rev, nil
+}
+
+// combineCover produces the condensed signature over a shard cover: one
+// O(log n) tree lookup per shard, combined with K-1 multiplications —
+// the fan-out fast path in miniature.
+func combineCover(pub *sig.PublicKey, cov []cryptoCover) (sig.Signature, error) {
+	if len(cov) == 1 {
+		return cov[0].ix.RangeAggregate(cov[0].a, cov[0].b)
+	}
+	agg := pub.NewAggregator()
+	for _, c := range cov {
+		part, err := c.ix.RangeAggregate(c.a, c.b)
+		if err != nil {
+			return nil, err
+		}
+		if err := agg.Add(part); err != nil {
+			return nil, err
+		}
+	}
+	return agg.Sum()
+}
+
+// cryptoDelta measures one owner-update cutover under the incremental
+// and rebuild index-maintenance strategies.
+func (e *Env) cryptoDelta(h *hashx.Hasher, sr *core.SignedRelation) (*CryptoDeltaRow, error) {
+	pub := e.Key.Public()
+	owner := sr.Clone()
+	target := owner.Recs[len(owner.Recs)/2]
+	// A real value change: FDH signing is deterministic, so re-signing
+	// identical attributes would diff to an empty delta.
+	if _, err := owner.UpdateAttrs(h, e.Key, target.Key(), target.Tuple.RowID,
+		[]relation.Value{relation.BytesVal([]byte("cutover!"))}); err != nil {
+		return nil, err
+	}
+	d := delta.Diff(sr, owner)
+	if d.Size() == 0 {
+		return nil, fmt.Errorf("crypto: cutover delta is empty")
+	}
+
+	indexed := sr.Clone()
+	if err := indexed.BuildAggIndex(h, pub); err != nil {
+		return nil, err
+	}
+	plain := sr.Clone()
+
+	incNs := timeOp(func() {
+		next := indexed.Clone()
+		if err := delta.Apply(h, pub, next, d); err != nil {
+			panic(err)
+		}
+		if next.AggIndex() == nil {
+			panic("crypto: incremental apply dropped the index")
+		}
+	})
+	rebuildApplyNs := timeOp(func() {
+		next := plain.Clone()
+		if err := delta.Apply(h, pub, next, d); err != nil {
+			panic(err)
+		}
+		if err := next.BuildAggIndex(h, pub); err != nil {
+			panic(err)
+		}
+	})
+	rebuildIndexNs := timeOp(func() {
+		if _, err := core.BuildAggIndex(h, pub, plain); err != nil {
+			panic(err)
+		}
+	})
+	return &CryptoDeltaRow{
+		N: sr.Len(), Ops: d.Size(),
+		IncrementalNs:  incNs,
+		RebuildApplyNs: rebuildApplyNs,
+		RebuildIndexNs: rebuildIndexNs,
+		Speedup:        float64(rebuildApplyNs) / float64(incNs),
+	}, nil
+}
+
+// PrintCrypto writes the E-crypto tables.
+func PrintCrypto(w io.Writer, r *CryptoResult) {
+	rows := make([]string, 0, len(r.Agg)+2)
+	for _, a := range r.Agg {
+		rows = append(rows, fmt.Sprintf(
+			"|Q|=%-6d K=%d   naive %10s   tree %10s   speedup %8.1fx",
+			a.Q, a.K, time.Duration(a.NaiveNs), time.Duration(a.TreeNs), a.Speedup))
+	}
+	printTable(w, fmt.Sprintf("E-crypto: condensed-signature aggregation, n=%d, Msign=%d (per query)", r.N, r.Msign), rows)
+	if d := r.Delta; d != nil {
+		printTable(w, "E-crypto: delta cutover index maintenance", []string{
+			fmt.Sprintf("incremental apply (O(ops log n) updates) %12s", time.Duration(d.IncrementalNs)),
+			fmt.Sprintf("apply + full index rebuild (O(n))        %12s", time.Duration(d.RebuildApplyNs)),
+			fmt.Sprintf("index rebuild alone                      %12s", time.Duration(d.RebuildIndexNs)),
+			fmt.Sprintf("cutover speedup %3.1fx over %d ops on n=%d", d.Speedup, d.Ops, d.N),
+		})
+	}
+}

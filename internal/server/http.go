@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vcqr/internal/delta"
+	"vcqr/internal/engine"
 	"vcqr/internal/wire"
 )
 
@@ -103,7 +104,11 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, err := s.QueryStream(req.Role, req.Query, req.ChunkRows)
+	// wire.WriteStream serializes each chunk before pulling the next, so
+	// the stream can recycle its chunk buffers — the allocation-bounded
+	// serving loop.
+	st, err := s.QueryStreamOpts(req.Role, req.Query,
+		engine.StreamOpts{ChunkRows: req.ChunkRows, ReuseChunks: true})
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return

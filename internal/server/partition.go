@@ -409,10 +409,14 @@ func (s *Server) applyPartitionedDelta(pt *partTable, d delta.Delta) (uint64, er
 		}
 	}
 
-	// Phase 3: validate every modified shard's touched neighbourhood
-	// against fresh mirrors — the all-or-nothing contract of delta.Apply,
-	// held across shards.
+	// Phase 3: refresh each modified shard's crypto-index leaves — the
+	// mirror stitch above edited edge records directly, bypassing the
+	// bookkeeping delta.ApplyOps does — then validate every touched
+	// neighbourhood against fresh mirrors: the all-or-nothing contract
+	// of delta.Apply, held across shards. Refresh precedes validation so
+	// the per-record FDH cache the validator consults is current.
 	for i, sl := range news {
+		sl.RefreshAggIndex(touched[i])
 		if err := delta.ValidateTouched(s.h, s.pub, sl, touched[i], true); err != nil {
 			return 0, fmt.Errorf("server: delta rejected: shard %d: %w", i, err)
 		}

@@ -180,12 +180,24 @@ func (s *Server) queryOn(sr *core.SignedRelation, epoch uint64, role string, q e
 // epochs — the whole stream verifies against the epoch that answered
 // its first chunk. Streams bypass the VO cache: their point is not to
 // hold whole results in memory.
+//
+// Chunks from this API are independently retainable (no buffer reuse) —
+// in-process consumers may collect them. The HTTP /stream handler uses
+// QueryStreamOpts with engine.StreamOpts.ReuseChunks instead, because
+// it serializes each chunk before pulling the next.
 func (s *Server) QueryStream(role string, q engine.Query, chunkRows int) (engine.ResultStream, error) {
+	return s.QueryStreamOpts(role, q, engine.StreamOpts{ChunkRows: chunkRows})
+}
+
+// QueryStreamOpts is QueryStream with full stream options. Callers that
+// set opts.ReuseChunks must treat every chunk as valid only until the
+// next Next call (see engine.StreamOpts).
+func (s *Server) QueryStreamOpts(role string, q engine.Query, opts engine.StreamOpts) (engine.ResultStream, error) {
 	s.queries.Add(1)
 	s.streams.Add(1)
 	if pt := s.partFor(q.Relation); pt != nil {
 		var prevUsed bool
-		st, err := s.partitionedStream(pt, role, q, engine.StreamOpts{ChunkRows: chunkRows}, &prevUsed)
+		st, err := s.partitionedStream(pt, role, q, opts, &prevUsed)
 		if err != nil {
 			s.errors.Add(1)
 			return nil, err
@@ -197,7 +209,7 @@ func (s *Server) QueryStream(role string, q engine.Query, chunkRows int) (engine
 		s.errors.Add(1)
 		return nil, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
 	}
-	st, err := s.exec.ExecuteStreamOn(sr, role, q, engine.StreamOpts{ChunkRows: chunkRows})
+	st, err := s.exec.ExecuteStreamOn(sr, role, q, opts)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err

@@ -103,7 +103,17 @@ func (s *Store) AddRelation(sr *core.SignedRelation, validate bool) error {
 // slices cannot be validated in isolation (their edge signatures bind
 // records the slice does not hold), so callers validate the whole set
 // first (partition.Set.Validate) or at the delta layer.
+//
+// Publishing builds the snapshot's crypto index (core.AggIndex) when it
+// does not carry one: the O(n) cost lands here, at publish time, so
+// every query on the epoch gets O(log n) signature aggregation and every
+// delta cutover derives the successor index incrementally. A build
+// failure (malformed signature bytes on an unvalidated feed) publishes
+// without an index — the correct-but-slow path.
 func (s *Store) AddNamed(name string, sr *core.SignedRelation) uint64 {
+	if sr.AggIndex() == nil {
+		_ = sr.BuildAggIndex(s.h, s.pub)
+	}
 	sh := s.shardFor(name)
 	sh.mu.Lock()
 	defer sh.mu.Unlock()

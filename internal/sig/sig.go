@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"io"
 	"math/big"
+	"sync"
 	"sync/atomic"
 
 	"vcqr/internal/hashx"
@@ -85,7 +86,28 @@ type PublicKey struct {
 	E int
 
 	verifyOps atomic.Uint64
+	// ebig caches the public exponent as a big.Int. Verification is the
+	// hot path of both the serving layer (delta validation) and every
+	// client, and allocating the exponent per call is pure overhead; the
+	// cache is lazily initialized so keys built as struct literals (the
+	// cmd tools decode N and E off the wire) still benefit.
+	ebig atomic.Pointer[big.Int]
 }
+
+// EBig returns the public exponent as a big.Int, computed once per key.
+func (p *PublicKey) EBig() *big.Int {
+	if e := p.ebig.Load(); e != nil {
+		return e
+	}
+	e := big.NewInt(int64(p.E))
+	p.ebig.Store(e)
+	return e
+}
+
+// scratchPool recycles the big.Int temporaries of verification: the
+// exponentiation result is needed only for one comparison, so its limb
+// array is reusable across calls instead of being garbage per call.
+var scratchPool = sync.Pool{New: func() any { return new(big.Int) }}
 
 // PrivateKey is the owner's signing key.
 type PrivateKey struct {
@@ -125,8 +147,22 @@ func (k *PrivateKey) SignOps() uint64 { return k.signOps.Load() }
 // the Csign unit of the paper's cost model.
 func (p *PublicKey) VerifyOps() uint64 { return p.verifyOps.Load() }
 
-// ResetOps zeroes the verification counter.
+// ResetOps zeroes the verify-operation counter ONLY. Signing counts live
+// on the PrivateKey and are unaffected; reset them with
+// PrivateKey.ResetOps. (The asymmetry is deliberate: the two counters
+// belong to different parties — Csign on the user side, signing cost on
+// the owner side — and experiments reset them independently.)
 func (p *PublicKey) ResetOps() { p.verifyOps.Store(0) }
+
+// ResetOps zeroes the sign-operation counter. The public key's verify
+// counter is independent; see PublicKey.ResetOps.
+func (k *PrivateKey) ResetOps() { k.signOps.Store(0) }
+
+// FDH maps a digest into Z_N — the full-domain hash of formula (1),
+// exported so the publisher-side crypto index (core.AggIndex) can
+// precompute per-record FDH values once per epoch instead of re-deriving
+// them on every verification.
+func (p *PublicKey) FDH(digest hashx.Digest) *big.Int { return fdh(p.N, digest) }
 
 // fdh maps a digest into Z_N via MGF1-SHA256 expansion reduced mod N.
 // Deterministic, so signer and verifier agree; the reduction bias is
@@ -172,13 +208,25 @@ func (k *PrivateKey) Sign(digest hashx.Digest) Signature {
 
 // Verify checks an individual signature against a digest.
 func (p *PublicKey) Verify(digest hashx.Digest, sig Signature) bool {
+	return p.VerifyFDH(fdh(p.N, digest), sig)
+}
+
+// VerifyFDH checks an individual signature against an already-computed
+// FDH value — the seam the per-record FDH cache (core.AggIndex) uses to
+// skip re-hashing on delta validation. The exponentiation result lives
+// in a pooled scratch, so the call allocates only what math/big's Exp
+// needs internally.
+func (p *PublicKey) VerifyFDH(want *big.Int, sig Signature) bool {
 	p.verifyOps.Add(1)
 	s, err := decode(sig, p)
 	if err != nil {
 		return false
 	}
-	got := new(big.Int).Exp(s, big.NewInt(int64(p.E)), p.N)
-	return got.Cmp(fdh(p.N, digest)) == 0
+	got := scratchPool.Get().(*big.Int)
+	got.Exp(s, p.EBig(), p.N)
+	ok := got.Cmp(want) == 0
+	scratchPool.Put(got)
+	return ok
 }
 
 // Aggregate condenses signatures into one by multiplication mod N.
@@ -278,9 +326,17 @@ func (a *AggVerifier) Verify(agg Signature) bool {
 	if err != nil {
 		return false
 	}
-	got := new(big.Int).Exp(s, big.NewInt(int64(a.p.E)), a.p.N)
-	return got.Cmp(a.want) == 0
+	got := scratchPool.Get().(*big.Int)
+	got.Exp(s, a.p.EBig(), a.p.N)
+	ok := got.Cmp(a.want) == 0
+	scratchPool.Put(got)
+	return ok
 }
+
+// SigValue decodes a signature into its Z_N value — the leaf material of
+// a product tree. Fails on malformed or out-of-range encodings exactly
+// like verification would.
+func (p *PublicKey) SigValue(s Signature) (*big.Int, error) { return decode(s, p) }
 
 func encode(v *big.Int, size int) Signature {
 	out := make([]byte, size)

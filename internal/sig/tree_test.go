@@ -1,0 +1,174 @@
+package sig
+
+import (
+	"math/big"
+	"math/rand"
+	"testing"
+)
+
+// treeKey builds a small deterministic "key" for tree arithmetic tests —
+// the tree only needs a modulus, so a fixed prime-ish odd modulus keeps
+// these tests free of RSA keygen cost.
+func treeKey() *PublicKey {
+	n, _ := new(big.Int).SetString("00c7f1c97f4d9c64e1d5627a1e9df6b6f9fbb4f6e8f3ad0b4d47a3fa6bfa70b1d1", 16)
+	return &PublicKey{N: n, E: 65537}
+}
+
+func randVals(rng *rand.Rand, p *PublicKey, n int) []*big.Int {
+	vals := make([]*big.Int, n)
+	for i := range vals {
+		v := new(big.Int).Rand(rng, p.N)
+		if v.Sign() == 0 {
+			v.SetInt64(1)
+		}
+		vals[i] = v
+	}
+	return vals
+}
+
+func naiveRange(p *PublicKey, vals []*big.Int, i, j int) *big.Int {
+	acc := big.NewInt(1)
+	for ; i < j; i++ {
+		acc.Mul(acc, vals[i])
+		acc.Mod(acc, p.N)
+	}
+	return acc
+}
+
+func checkAllRanges(t *testing.T, p *PublicKey, tr *ProductTree, vals []*big.Int) {
+	t.Helper()
+	if tr.Len() != len(vals) {
+		t.Fatalf("tree has %d leaves, want %d", tr.Len(), len(vals))
+	}
+	for i := 0; i <= len(vals); i++ {
+		for j := i; j <= len(vals); j++ {
+			got, want := tr.Range(i, j), naiveRange(p, vals, i, j)
+			if got.Cmp(want) != 0 {
+				t.Fatalf("Range(%d,%d) mismatch", i, j)
+			}
+		}
+	}
+}
+
+func TestProductTreeRanges(t *testing.T) {
+	p := treeKey()
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{0, 1, 2, 3, 7, 16, 33} {
+		vals := randVals(rng, p, n)
+		checkAllRanges(t, p, p.NewProductTree(vals, nil), vals)
+	}
+}
+
+// TestProductTreePersistentUpdates drives a random op sequence against a
+// shadow slice, checking every range after every op AND that earlier
+// tree versions are untouched (persistence).
+func TestProductTreePersistentUpdates(t *testing.T) {
+	p := treeKey()
+	rng := rand.New(rand.NewSource(11))
+	vals := randVals(rng, p, 12)
+	tr := p.NewProductTree(vals, nil)
+	origVals := append([]*big.Int(nil), vals...)
+	orig := tr
+
+	for op := 0; op < 200; op++ {
+		v := randVals(rng, p, 1)[0]
+		switch choice := rng.Intn(3); {
+		case choice == 0 && tr.Len() > 0: // update
+			i := rng.Intn(tr.Len())
+			tr = tr.Update(i, v, nil)
+			vals[i] = v
+		case choice == 1 && tr.Len() > 1: // delete
+			i := rng.Intn(tr.Len())
+			tr = tr.Delete(i)
+			vals = append(vals[:i], vals[i+1:]...)
+		default: // insert
+			i := rng.Intn(tr.Len() + 1)
+			tr = tr.Insert(i, v, nil)
+			vals = append(vals, nil)
+			copy(vals[i+1:], vals[i:])
+			vals[i] = v
+		}
+		if op%20 == 0 {
+			checkAllRanges(t, p, tr, vals)
+		}
+	}
+	checkAllRanges(t, p, tr, vals)
+	// The original version must be byte-for-byte what it was.
+	checkAllRanges(t, p, orig, origVals)
+}
+
+// TestProductTreeBalance checks the height stays logarithmic under an
+// adversarial (sorted-position) insert sequence.
+func TestProductTreeBalance(t *testing.T) {
+	p := treeKey()
+	one := big.NewInt(1)
+	tr := p.NewProductTree(nil, nil)
+	const n = 4096
+	for i := 0; i < n; i++ {
+		tr = tr.Insert(tr.Len(), one, nil) // always append: worst case for an unbalanced tree
+	}
+	if h := tr.Height(); h > 4*17 { // ~ (1/log2(Δ+1/Δ)) * log2(n) with slack
+		t.Fatalf("height %d after %d appends — tree is not rebalancing", h, n)
+	}
+	for i := 0; i < n/2; i++ {
+		tr = tr.Delete(0) // always delete leftmost: worst case the other way
+	}
+	if h := tr.Height(); h > 4*16 {
+		t.Fatalf("height %d after deletes — tree is not rebalancing", h)
+	}
+	if tr.Len() != n/2 {
+		t.Fatalf("len %d, want %d", tr.Len(), n/2)
+	}
+}
+
+// TestProductTreeTags checks tags ride along through every operation.
+func TestProductTreeTags(t *testing.T) {
+	p := treeKey()
+	one := big.NewInt(1)
+	tr := p.NewProductTree([]*big.Int{one, one, one}, [][]byte{{0}, {1}, {2}})
+	tr = tr.Insert(1, one, []byte{9})
+	tr = tr.Delete(0)
+	tr = tr.Update(2, one, []byte{7})
+	want := [][]byte{{9}, {1}, {7}}
+	for i, w := range want {
+		if _, tag := tr.At(i); len(tag) != 1 || tag[0] != w[0] {
+			t.Fatalf("leaf %d tag %v, want %v", i, tag, w)
+		}
+	}
+}
+
+// TestSigTreeMatchesAggregate ties the tree to the condensed-RSA
+// primitive: RangeSig over real signatures equals Aggregate.
+func TestSigTreeMatchesAggregate(t *testing.T) {
+	key, err := Generate(DefaultBits, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := key.Public()
+	var sigs []Signature
+	for i := byte(0); i < 9; i++ {
+		sigs = append(sigs, key.Sign([]byte{i}))
+	}
+	tr, err := p.NewSigTree(sigs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < len(sigs); i++ {
+		for j := i + 1; j <= len(sigs); j++ {
+			want, err := p.Aggregate(sigs[i:j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := tr.RangeSig(i, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !got.Equal(want) {
+				t.Fatalf("RangeSig(%d,%d) != Aggregate", i, j)
+			}
+		}
+	}
+	if _, err := tr.RangeSig(3, 3); err != ErrEmptyAggregate {
+		t.Fatalf("empty RangeSig error = %v", err)
+	}
+}

@@ -1,0 +1,111 @@
+package wire_test
+
+import (
+	"bytes"
+	"io"
+	"testing"
+
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/wire"
+)
+
+// allocChunk builds a realistic entries chunk: n covered records, each
+// with a disclosed value, hidden leaves and chain digests — the shape
+// the /stream path serializes thousands of times per large result.
+func allocChunk(n int) *engine.Chunk {
+	h := hashx.New()
+	c := &engine.Chunk{Type: engine.ChunkEntries, Seq: 1, Entries: make([]engine.VOEntry, 0, n)}
+	for i := 0; i < n; i++ {
+		c.Entries = append(c.Entries, engine.VOEntry{
+			Mode: engine.EntryResult,
+			Key:  uint64(i + 1),
+			HiddenLeaves: []hashx.Digest{
+				h.Hash([]byte{byte(i)}),
+				h.Hash([]byte{byte(i), 1}),
+			},
+		})
+	}
+	return c
+}
+
+// TestWriteChunkFrameAllocBudget pins the per-chunk allocation cost of
+// the frame encoder. The scratch buffer is pooled, so what remains is
+// gob's own per-encode state — the budget catches a regression that
+// reintroduces a fresh buffer (or worse, a full copy) per frame.
+func TestWriteChunkFrameAllocBudget(t *testing.T) {
+	c := allocChunk(256)
+	// Warm the pool and the gob type registry.
+	if err := wire.WriteChunkFrame(io.Discard, c); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if err := wire.WriteChunkFrame(io.Discard, c); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 130 // measured ~51 on go1.24 with the pooled buffer; 2.5x headroom
+	t.Logf("WriteChunkFrame(256 entries): %.0f allocs/chunk (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("WriteChunkFrame allocates %.0f/chunk, budget %d", allocs, budget)
+	}
+}
+
+// TestStreamFrameAllocBudget pins the full frame round trip — encode,
+// frame, read back, decode — per chunk. This is the wire cost of one
+// /stream chunk minus the HTTP transport itself.
+func TestStreamFrameAllocBudget(t *testing.T) {
+	c := allocChunk(256)
+	var buf bytes.Buffer
+	if err := wire.WriteChunkFrame(&buf, c); err != nil {
+		t.Fatal(err)
+	}
+	frame := append([]byte(nil), buf.Bytes()...)
+
+	allocs := testing.AllocsPerRun(20, func() {
+		if _, err := wire.ReadChunkFrame(bytes.NewReader(frame)); err != nil {
+			t.Fatal(err)
+		}
+	})
+	const budget = 4400 // measured ~2900 on go1.24: decode must materialize every entry; 1.5x headroom
+	t.Logf("ReadChunkFrame(256 entries): %.0f allocs/chunk (budget %d)", allocs, budget)
+	if allocs > budget {
+		t.Fatalf("ReadChunkFrame allocates %.0f/chunk, budget %d", allocs, budget)
+	}
+}
+
+// TestFrameBufferPoolDropsOversize checks a pathologically large frame
+// does not pin its buffer in the pool: a follow-up small write must not
+// fail, and (indirectly) the pool stays bounded. Behavioural, not
+// alloc-counted — pool retention is not observable directly.
+func TestFrameBufferPoolDropsOversize(t *testing.T) {
+	big := allocChunk(4096)
+	for i := range big.Entries {
+		// Inflate each entry so the encoded frame exceeds the pool bound.
+		big.Entries[i].HiddenLeaves = append(big.Entries[i].HiddenLeaves, make([]byte, 512))
+	}
+	var buf bytes.Buffer
+	if err := wire.WriteChunkFrame(&buf, big); err != nil {
+		t.Fatal(err)
+	}
+	if buf.Len() < 1<<20 {
+		t.Skipf("frame only %d bytes, does not exercise the oversize path", buf.Len())
+	}
+	for i := 0; i < 4; i++ {
+		if err := wire.WriteChunkFrame(io.Discard, allocChunk(1)); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkWriteChunkFrame reports the steady-state frame encode cost;
+// run with -benchmem to see the pooled-buffer effect.
+func BenchmarkWriteChunkFrame(b *testing.B) {
+	c := allocChunk(256)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := wire.WriteChunkFrame(io.Discard, c); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sync"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/engine"
@@ -37,10 +38,29 @@ var (
 	ErrFrameTruncated = errors.New("wire: chunk frame truncated")
 )
 
-// WriteChunkFrame writes one length-prefixed chunk frame.
+// frameBufPool recycles the per-frame scratch buffers of the chunk
+// codec. A long stream writes (and reads) thousands of frames; without
+// the pool every frame retires a buffer the size of its payload to the
+// garbage collector. Buffers that grew beyond maxPooledFrame are dropped
+// instead of pooled so one pathological frame cannot pin megabytes.
+var frameBufPool = sync.Pool{New: func() any { return new(bytes.Buffer) }}
+
+// maxPooledFrame bounds the capacity of buffers returned to the pool.
+const maxPooledFrame = 1 << 20
+
+func putFrameBuf(buf *bytes.Buffer) {
+	if buf.Cap() <= maxPooledFrame {
+		frameBufPool.Put(buf)
+	}
+}
+
+// WriteChunkFrame writes one length-prefixed chunk frame. The encode
+// scratch buffer is pooled; nothing of the chunk is retained.
 func WriteChunkFrame(w io.Writer, c *engine.Chunk) error {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer putFrameBuf(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(c); err != nil {
 		return fmt.Errorf("wire: encode chunk: %w", err)
 	}
 	if buf.Len() > MaxChunkFrame {
@@ -74,13 +94,17 @@ func ReadChunkFrame(r io.Reader) (*engine.Chunk, error) {
 	}
 	// Copy incrementally rather than pre-allocating the claimed length:
 	// a lying length prefix on a short stream then costs a small buffer,
-	// not MaxChunkFrame of allocation.
-	var body bytes.Buffer
-	if _, err := io.CopyN(&body, r, int64(n)); err != nil {
+	// not MaxChunkFrame of allocation. The buffer is pooled — gob copies
+	// everything it decodes into the chunk, so nothing aliases it after
+	// the decode returns.
+	body := frameBufPool.Get().(*bytes.Buffer)
+	defer putFrameBuf(body)
+	body.Reset()
+	if _, err := io.CopyN(body, r, int64(n)); err != nil {
 		return nil, fmt.Errorf("%w: body: %v", ErrFrameTruncated, err)
 	}
 	var c engine.Chunk
-	if err := gob.NewDecoder(&body).Decode(&c); err != nil {
+	if err := gob.NewDecoder(body).Decode(&c); err != nil {
 		return nil, fmt.Errorf("wire: decode chunk: %w", err)
 	}
 	return &c, nil
