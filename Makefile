@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz docs ci
+.PHONY: all build vet test race bench fuzz docs smoke-cluster ci
 
 all: ci
 
@@ -32,6 +32,13 @@ bench-smoke:
 # fuzz smoke-tests the wire chunk-frame decoder.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadChunkFrame -fuzztime 30s ./internal/wire
+
+# smoke-cluster launches 1 coordinator + 2 shard nodes as separate OS
+# processes, streams a cross-node verified query and runs one online
+# rebalance — the verbatim-tested README quickstart for the distributed
+# tier (also run by CI).
+smoke-cluster:
+	sh scripts/cluster_smoke.sh
 
 # docs checks formatting hygiene and that every example still builds, so
 # the snippets README/DESIGN point at cannot rot.

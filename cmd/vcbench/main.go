@@ -13,12 +13,15 @@
 // experiments "server" (HTTP /query + /batch through internal/server),
 // "stream" (streaming vs materialized, end to end), "shard" (the
 // K-way partitioned-publisher sweep: query and delta throughput at
-// K ∈ {1,2,4,8} on the same data, with verified cross-shard streams)
-// and "crypto" (the aggregation fast path: product-tree vs naive
+// K ∈ {1,2,4,8} on the same data, with verified cross-shard streams),
+// "crypto" (the aggregation fast path: product-tree vs naive
 // condensed-signature assembly across |Q| and shard counts, plus the
 // delta-cutover index maintenance comparison; pass -out to also write
 // the machine-readable perf trajectory, e.g. -out BENCH_crypto.json as
-// `make bench` and CI do).
+// `make bench` and CI do) and "cluster" (the distributed tier over real
+// TCP: cross-node verified stream throughput vs the single-process
+// baseline, plus an online shard migration under live deltas reporting
+// copy/cutover latency and the zero-rejected-queries invariant).
 package main
 
 import (
@@ -32,7 +35,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|cluster|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
 	out := flag.String("out", "", "machine-readable output path for the crypto experiment (default: no file written; make bench and CI pass BENCH_crypto.json)")
 	flag.Parse()
@@ -173,6 +176,14 @@ func main() {
 			}
 			fmt.Fprintf(w, "wrote %s\n", *out)
 		}
+	}
+	if run("cluster") {
+		ran = true
+		r, err := env.Cluster()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCluster(w, r)
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -1,22 +1,35 @@
-// Command vcserve runs a concurrent publisher server (internal/server)
-// for the Figure 3 deployment. It either loads a pre-signed snapshot
-// produced by vcsign (-load; the realistic mode: the publisher never
-// holds the signing key) or plays both roles and generates a signed
-// employee relation in-process. Snapshots may be plain or
-// range-partitioned (vcsign -shards); partitioned publications are
-// served with one copy-on-write epoch per shard, so a delta to shard i
-// never blocks or invalidates queries on shard j.
+// Command vcserve runs the serving side of the Figure 3 deployment in
+// one of three modes:
 //
-// The server is goroutine-safe, caches assembled VOs in an LRU, applies
-// owner deltas live on POST /delta, and shuts down gracefully on
-// SIGINT/SIGTERM. Endpoints: /query, /batch, /stream, /delta, /healthz,
-// /statsz (including per-shard counters), /debug/vars.
+//   - single process (default): a concurrent publisher (internal/server)
+//     hosting a plain or range-partitioned publication, loaded from a
+//     vcsign snapshot (-load) or self-signed in-process for demos.
+//   - shard node (-node): an empty publisher that hosts individual shard
+//     slices installed, migrated and removed by a cluster coordinator.
+//     It needs only the owner's client parameters (-params) — a node
+//     never sees the signing key and is never trusted.
+//   - coordinator (-coordinator): the control plane of a cluster
+//     (internal/cluster): owns the authenticated partition spec and the
+//     routing table, places slices across -nodes, fans queries out as
+//     verified merged streams, routes owner deltas, and migrates shard
+//     spans online (POST /admin/rebalance). With -adopt it rebuilds its
+//     routing table from what the nodes already host instead of loading
+//     a snapshot — the restart path.
+//
+// The user-facing endpoints (/query, /batch, /stream, /delta, /healthz,
+// /statsz) are identical in single-process and coordinator modes, so
+// vcquery works against either unchanged. See docs/OPERATIONS.md for the
+// operator's handbook.
 //
 // Usage:
 //
 //	vcserve -load emp.gob -params params.gob -addr :8080
-//	vcserve -n 1000 -params params.gob -addr :8080     # self-signed demo
 //	vcserve -n 1000 -shards 4 -params params.gob       # sharded demo
+//	vcserve -node -params params.gob -addr :8081       # shard node
+//	vcserve -coordinator -load emp.gob -params params.gob \
+//	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//	vcserve -coordinator -adopt -params params.gob \
+//	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
 //
 // Query it with cmd/vcquery.
 package main
@@ -26,12 +39,16 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"vcqr/internal/accessctl"
+	"vcqr/internal/cluster"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
 	"vcqr/internal/owner"
@@ -48,18 +65,183 @@ func main() {
 	n := flag.Int("n", 500, "records to generate when -load is empty")
 	seed := flag.Int64("seed", 1, "workload seed when -load is empty")
 	shards := flag.Int("shards", 1, "range-partition the in-process publication (ignored with -load)")
-	paramsPath := flag.String("params", "params.gob", "client parameters file (read with -load, written otherwise)")
+	paramsPath := flag.String("params", "params.gob", "client parameters file (read with -load/-node/-coordinator, written otherwise)")
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "VO cache entries (negative disables)")
+	nodeMode := flag.Bool("node", false, "run as a shard node awaiting coordinator installs")
+	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -nodes")
+	nodesFlag := flag.String("nodes", "", "comma-separated shard-node base URLs (coordinator mode)")
+	adopt := flag.Bool("adopt", false, "coordinator mode: recover the routing table from node inventories instead of loading a snapshot")
 	flag.Parse()
 
+	switch {
+	case *nodeMode && *coordMode:
+		log.Fatal("-node and -coordinator are mutually exclusive")
+	case *nodeMode:
+		runNode(*addr, *paramsPath, *cacheSize)
+	case *coordMode:
+		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *adopt)
+	default:
+		runSingle(*addr, *load, *paramsPath, *n, *seed, *shards, *cacheSize)
+	}
+}
+
+// policyFrom rebuilds the role policy from the distributed parameters.
+func policyFrom(cp wire.ClientParams) accessctl.Policy {
+	roles := make([]accessctl.Role, 0, len(cp.Roles))
+	for _, r := range cp.Roles {
+		roles = append(roles, r)
+	}
+	return accessctl.NewPolicy(roles...)
+}
+
+// runNode starts an empty shard node: everything it will serve arrives
+// later over /shard/install from a coordinator.
+func runNode(addr, paramsPath string, cacheSize int) {
+	cp, err := wire.ReadClientParams(paramsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := server.New(server.Config{
+		Hasher:    hashx.New(),
+		Pub:       &sig.PublicKey{N: cp.N, E: cp.E},
+		Policy:    policyFrom(cp),
+		CacheSize: cacheSize,
+	})
+	hs, err := server.Serve(addr, s)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("shard node ready on %s (no slices hosted; awaiting coordinator installs)\n", hs.Addr())
+	waitAndShutdown(func(ctx context.Context) error { return hs.Shutdown(ctx) }, hs.Done, hs.Err)
+	st := s.Stats()
+	log.Printf("served %d shard sub-streams, %d deltas; bye", st.ShardStreams, st.DeltasApplied)
+}
+
+// runCoordinator starts the cluster control plane and user-facing API.
+func runCoordinator(addr, load, paramsPath, nodesFlag string, adopt bool) {
+	cp, err := wire.ReadClientParams(paramsPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nodes := strings.Split(nodesFlag, ",")
+	if nodesFlag == "" || len(nodes) == 0 {
+		log.Fatal("coordinator mode needs -nodes url1,url2,...")
+	}
+	h := hashx.New()
+	pub := &sig.PublicKey{N: cp.N, E: cp.E}
+
+	var spec partition.Spec
+	var set *partition.Set
+	switch {
+	case adopt:
+		if cp.Partition == nil {
+			log.Fatal("-adopt needs the partition spec in the params file (vcsign -shards)")
+		}
+		spec = *cp.Partition
+	case load != "":
+		blob, err := os.ReadFile(load)
+		if err != nil {
+			log.Fatal(err)
+		}
+		snap, err := wire.DecodeSnapshot(blob)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if snap.Partition == nil {
+			log.Fatal("coordinator mode needs a partitioned snapshot (vcsign -shards K)")
+		}
+		set, spec = snap.Partition, snap.Partition.Spec
+		log.Printf("validating %d-shard snapshot against the owner's key...", spec.K())
+		if err := set.Validate(h, pub); err != nil {
+			log.Fatalf("snapshot failed ingest validation: %v", err)
+		}
+	default:
+		log.Fatal("coordinator mode needs -load snapshot or -adopt")
+	}
+
+	coord, err := cluster.New(cluster.Config{
+		Hasher: h,
+		Pub:    pub,
+		Params: cp.Params,
+		Schema: cp.Schema,
+		Policy: policyFrom(cp),
+		Spec:   spec,
+		Nodes:  nodes,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if adopt {
+		rep, err := coord.Recover()
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		if len(rep.Diverged) > 0 {
+			log.Printf("WARNING: recovery found diverged copies of shards %v; kept the written-to copy, dropped %v — verify with /shard/digest (see docs/OPERATIONS.md)", rep.Diverged, rep.DroppedCopies)
+		}
+		if len(rep.Ambiguous) > 0 {
+			log.Printf("WARNING: divergence of shards %v is ambiguous (both copies written since install); kept node-order copy — treat as suspect, the owner snapshot is the source of truth (see docs/OPERATIONS.md)", rep.Ambiguous)
+		}
+		log.Printf("recovered routing for %d shards from node inventories", len(rep.Assigned))
+	} else {
+		log.Printf("placing %d shards across %d nodes...", spec.K(), len(nodes))
+		if err := coord.Place(set); err != nil {
+			log.Fatalf("placement: %v", err)
+		}
+	}
+	for i, url := range coord.Routing() {
+		log.Printf("  shard %d -> %s", i, url)
+	}
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: coord.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
+	var serveErr error
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			serveErr = err
+		}
+		close(done)
+	}()
+	fmt.Printf("coordinator serving %q (%d shards on %d nodes) on %s\n",
+		spec.Relation, spec.K(), len(nodes), ln.Addr())
+	waitAndShutdown(hs.Shutdown, func() <-chan struct{} { return done }, func() error { return serveErr })
+	st := coord.Stats()
+	log.Printf("served %d queries (%d fan-outs, %d deltas, %d migrations, routing epoch %d); bye",
+		st.Queries, st.Fanouts, st.DeltasApplied, st.Migrations, st.RoutingEpoch)
+}
+
+// waitAndShutdown blocks on SIGINT/SIGTERM or serve-loop death, then
+// drains gracefully.
+func waitAndShutdown(shutdown func(context.Context) error, done func() <-chan struct{}, serveErr func() error) {
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case <-stop:
+	case <-done():
+		log.Fatalf("server terminated: %v", serveErr())
+	}
+	log.Printf("shutting down (draining in-flight requests)...")
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := shutdown(ctx); err != nil {
+		log.Fatalf("shutdown: %v", err)
+	}
+}
+
+// runSingle is the original single-process publisher.
+func runSingle(addr, load, paramsPath string, n int, seed int64, shards, cacheSize int) {
 	h := hashx.New()
 	var (
 		snap *wire.Snapshot
 		pub  *sig.PublicKey
 		cp   wire.ClientParams
 	)
-	if *load != "" {
-		blob, err := os.ReadFile(*load)
+	if load != "" {
+		blob, err := os.ReadFile(load)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -67,7 +249,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		cp, err = wire.ReadClientParams(*paramsPath)
+		cp, err = wire.ReadClientParams(paramsPath)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -78,7 +260,7 @@ func main() {
 			log.Fatal(err)
 		}
 		rel, err := workload.Employees(workload.EmployeeConfig{
-			N: *n, L: 0, U: 1 << 32, PhotoSize: 64, HiddenPct: 10, Seed: *seed,
+			N: n, L: 0, U: 1 << 32, PhotoSize: 64, HiddenPct: 10, Seed: seed,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -98,29 +280,25 @@ func main() {
 			},
 		}
 		snap = &wire.Snapshot{Relation: sr}
-		if *shards > 1 {
-			set, err := partition.Split(sr, *shards)
+		if shards > 1 {
+			set, err := partition.Split(sr, shards)
 			if err != nil {
 				log.Fatal(err)
 			}
 			snap = &wire.Snapshot{Partition: set}
 			cp.Partition = &set.Spec
 		}
-		if err := wire.WriteClientParams(*paramsPath, cp); err != nil {
+		if err := wire.WriteClientParams(paramsPath, cp); err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("client parameters written to %s", *paramsPath)
+		log.Printf("client parameters written to %s", paramsPath)
 	}
 
-	roles := make([]accessctl.Role, 0, len(cp.Roles))
-	for _, r := range cp.Roles {
-		roles = append(roles, r)
-	}
 	s := server.New(server.Config{
 		Hasher:    h,
 		Pub:       pub,
-		Policy:    accessctl.NewPolicy(roles...),
-		CacheSize: *cacheSize,
+		Policy:    policyFrom(cp),
+		CacheSize: cacheSize,
 	})
 	var name string
 	var records int
@@ -144,25 +322,12 @@ func main() {
 		log.Fatal("snapshot holds neither a relation nor a partition")
 	}
 
-	hs, err := server.Serve(*addr, s)
+	hs, err := server.Serve(addr, s)
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("publisher serving %q (%d records) on %s\n", name, records, hs.Addr())
-
-	stop := make(chan os.Signal, 1)
-	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
-	select {
-	case <-stop:
-	case <-hs.Done():
-		log.Fatalf("server terminated: %v", hs.Err())
-	}
-	log.Printf("shutting down (draining in-flight requests)...")
-	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
-	defer cancel()
-	if err := hs.Shutdown(ctx); err != nil {
-		log.Fatalf("shutdown: %v", err)
-	}
+	waitAndShutdown(func(ctx context.Context) error { return hs.Shutdown(ctx) }, hs.Done, hs.Err)
 	st := s.Stats()
 	log.Printf("served %d queries (%d batches, %d deltas, cache %d/%d hits); bye",
 		st.Queries, st.Batches, st.DeltasApplied, st.Cache.Hits, st.Cache.Hits+st.Cache.Misses)

@@ -1,0 +1,444 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/partition"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+	"vcqr/internal/wire"
+)
+
+// Cluster errors. Each is an operator-facing condition; see
+// docs/OPERATIONS.md for remediations.
+var (
+	// ErrDistinct refuses DISTINCT queries at the coordinator: duplicate
+	// elision is a cross-shard sequential pass, which a distributed
+	// fan-out cannot provide. Route DISTINCT queries at a single-process
+	// publisher of the same publication.
+	ErrDistinct = errors.New("cluster: DISTINCT queries are not served across shard nodes")
+	// ErrUnknownNode names a node URL outside the coordinator's
+	// configured set.
+	ErrUnknownNode = errors.New("cluster: unknown node")
+	// ErrNoRoute reports a shard with no assigned node — the routing
+	// table is incomplete (failed placement or recovery).
+	ErrNoRoute = errors.New("cluster: shard has no assigned node")
+	// ErrRoutingStale reports a routing-epoch mismatch that retrying did
+	// not clear: a node keeps refusing a shard the current routing table
+	// assigns to it. The table and the node disagree about placement —
+	// usually an out-of-band removal or a half-finished migration.
+	ErrRoutingStale = errors.New("cluster: routing epoch stale: node refuses an assigned shard")
+	// ErrClusterPin reports a cross-node epoch set whose hand-offs would
+	// not settle while pinning — sustained boundary churn; retry the
+	// query.
+	ErrClusterPin = errors.New("cluster: shard hand-offs unstable while pinning cross-node epoch set")
+	// ErrSpecMismatch reports nodes hosting slices of different
+	// partition layouts (spec versions) for one relation.
+	ErrSpecMismatch = errors.New("cluster: nodes disagree on the partition spec")
+)
+
+// Config parameterizes a Coordinator. Everything here arrives over the
+// owner's authenticated channel (wire.ClientParams) except the node set,
+// which is deployment configuration.
+type Config struct {
+	Hasher *hashx.Hasher
+	Pub    *sig.PublicKey
+	Params core.Params
+	Schema relation.Schema
+	Policy accessctl.Policy
+	// Spec is the authenticated partition layout the coordinator owns.
+	Spec partition.Spec
+	// Nodes are the shard-node base URLs.
+	Nodes []string
+	// HTTP overrides the transport (nil = http.DefaultClient).
+	HTTP *http.Client
+	// Individual switches to one-signature-per-entry VOs; must match the
+	// nodes' serving mode.
+	Individual bool
+	// ChunkRows bounds entries per chunk on node sub-streams when the
+	// client request does not choose; 0 = engine.DefaultChunkRows.
+	ChunkRows int
+}
+
+// Coordinator owns the routing table of one partitioned publication and
+// serves the user-facing API over remote shard nodes. All exported
+// methods may be called concurrently.
+type Coordinator struct {
+	h         *hashx.Hasher
+	pub       *sig.PublicKey
+	params    core.Params
+	schema    relation.Schema
+	policy    accessctl.Policy
+	spec      partition.Spec
+	aggregate bool
+	chunkRows int
+
+	nodes   []string
+	clients map[string]*wire.Client
+
+	// mu guards the routing table; repoch counts its versions. Queries
+	// read the table lock-free of ctl; migrations swing it atomically.
+	mu     sync.RWMutex
+	route  []string
+	repoch atomic.Uint64
+
+	// ctl serializes control-plane writes: distributed deltas and
+	// migration cutovers. Queries never take it.
+	ctl sync.Mutex
+
+	queries, streams, fanouts, errors atomic.Uint64
+	handoffRetries, routingRetries    atomic.Uint64
+	deltasApplied, migrations         atomic.Uint64
+}
+
+// New builds a coordinator. The routing table starts empty; fill it with
+// Place (fresh deployment) or Recover (adopt what nodes already host).
+func New(cfg Config) (*Coordinator, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if len(cfg.Nodes) == 0 {
+		return nil, fmt.Errorf("cluster: no nodes configured")
+	}
+	if cfg.Hasher == nil {
+		cfg.Hasher = hashx.New()
+	}
+	c := &Coordinator{
+		h:         cfg.Hasher,
+		pub:       cfg.Pub,
+		params:    cfg.Params,
+		schema:    cfg.Schema,
+		policy:    cfg.Policy,
+		spec:      cfg.Spec,
+		aggregate: !cfg.Individual,
+		chunkRows: cfg.ChunkRows,
+		nodes:     append([]string(nil), cfg.Nodes...),
+		clients:   make(map[string]*wire.Client, len(cfg.Nodes)),
+		route:     make([]string, cfg.Spec.K()),
+	}
+	for _, url := range c.nodes {
+		c.clients[url] = &wire.Client{BaseURL: url, HTTP: cfg.HTTP}
+	}
+	return c, nil
+}
+
+// Spec returns the authenticated partition layout.
+func (c *Coordinator) Spec() partition.Spec { return c.spec }
+
+// RoutingEpoch returns the routing table's version counter.
+func (c *Coordinator) RoutingEpoch() uint64 { return c.repoch.Load() }
+
+// Routing snapshots the routing table: one node URL per shard.
+func (c *Coordinator) Routing() []string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	return append([]string(nil), c.route...)
+}
+
+// client resolves a node URL to its wire client.
+func (c *Coordinator) client(url string) (*wire.Client, error) {
+	cl := c.clients[url]
+	if cl == nil {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownNode, url)
+	}
+	return cl, nil
+}
+
+// routeFor resolves a shard to its assigned node.
+func (c *Coordinator) routeFor(shard int) (string, error) {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	if shard < 0 || shard >= len(c.route) {
+		return "", fmt.Errorf("%w: shard %d of %d", ErrNoRoute, shard, len(c.route))
+	}
+	if c.route[shard] == "" {
+		return "", fmt.Errorf("%w: shard %d", ErrNoRoute, shard)
+	}
+	return c.route[shard], nil
+}
+
+// Place distributes a validated partition set across the nodes
+// round-robin and installs every slice — the fresh-deployment path. The
+// set must match the coordinator's spec.
+func (c *Coordinator) Place(set *partition.Set) error {
+	if !set.Spec.Same(c.spec) {
+		return fmt.Errorf("%w: placing v%d over coordinator v%d", ErrSpecMismatch, set.Spec.Version, c.spec.Version)
+	}
+	if len(set.Slices) != c.spec.K() {
+		return fmt.Errorf("%w: %d slices for %d shards", partition.ErrSetInvalid, len(set.Slices), c.spec.K())
+	}
+	assign := make([]string, c.spec.K())
+	for i, sl := range set.Slices {
+		url := c.nodes[i%len(c.nodes)]
+		if err := c.installSlice(url, i, sl); err != nil {
+			return fmt.Errorf("cluster: installing shard %d on %s: %w", i, url, err)
+		}
+		assign[i] = url
+	}
+	c.mu.Lock()
+	c.route = assign
+	c.mu.Unlock()
+	c.repoch.Add(1)
+	return nil
+}
+
+// installSlice streams one local slice to a node's install endpoint.
+func (c *Coordinator) installSlice(url string, shard int, sl *core.SignedRelation) error {
+	cl, err := c.client(url)
+	if err != nil {
+		return err
+	}
+	pr, pw := io.Pipe()
+	go func() {
+		man := wire.ShardManifest{Spec: c.spec, Shard: shard}
+		pw.CloseWithError(wire.WriteShardTransfer(pw, c.h, man, sl))
+	}()
+	_, err = cl.ShardInstall(pr)
+	pr.Close()
+	return err
+}
+
+// plan resolves the role, validates and rewrites the query, and
+// decomposes it over the spec.
+func (c *Coordinator) plan(roleName string, q engine.Query) (accessctl.Role, engine.Query, []partition.SubRange, error) {
+	role, err := c.policy.Role(roleName)
+	if err != nil {
+		return role, engine.Query{}, nil, err
+	}
+	if q.Relation != c.spec.Relation {
+		return role, engine.Query{}, nil, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
+	}
+	if err := q.Validate(c.schema); err != nil {
+		return role, engine.Query{}, nil, err
+	}
+	if q.Distinct {
+		return role, engine.Query{}, nil, ErrDistinct
+	}
+	eff, err := engine.EffectiveQuery(c.params, c.schema, role, q)
+	if err != nil {
+		return role, engine.Query{}, nil, err
+	}
+	sub := c.spec.Decompose(eff.KeyLo, eff.KeyHi)
+	if len(sub) > 1 {
+		c.fanouts.Add(1)
+	}
+	return role, eff, sub, nil
+}
+
+// QueryStream answers one query as a verifiable chunk stream merged from
+// per-node shard sub-streams. The stream is byte-identical to what a
+// single process serving the same slices would emit, so the unmodified
+// client verifiers accept it unchanged.
+func (c *Coordinator) QueryStream(roleName string, q engine.Query, chunkRows int) (engine.ResultStream, error) {
+	c.queries.Add(1)
+	c.streams.Add(1)
+	_, eff, sub, err := c.plan(roleName, q)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, err
+	}
+	if chunkRows == 0 {
+		chunkRows = c.chunkRows
+	}
+	feeds, prevG, err := c.pinFeeds(roleName, q, sub, chunkRows)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, err
+	}
+	st, err := engine.MergeShards(c.pub, c.aggregate, eff, feeds, prevG)
+	if err != nil {
+		c.errors.Add(1)
+		closeFeeds(feeds)
+		return nil, err
+	}
+	return st, nil
+}
+
+// pinRetries bounds the cross-node pin loop. Retries are rarer and
+// costlier than in-process re-pins (each opens fresh sub-streams), so
+// the bound is smaller than the server's.
+const pinRetries = 8
+
+// pinFeeds opens one sub-stream per covering shard and checks every
+// adjacent hand-off by digest compare — the cross-process pinCover. A
+// mismatch (boundary delta or migration mid-cutover) closes everything
+// and re-pins; a node's not-hosting refusal re-reads the routing table
+// (a migration may have swung mid-query) and retries. When the cover
+// does not start at shard 0, the preceding shard's edge material is
+// pinned with the set (and hand-off-checked against the first feed), so
+// the empty-range predecessor digest is epoch-consistent with the cover
+// — exactly the in-process pinCover contract.
+func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.SubRange, chunkRows int) ([]engine.ShardFeed, engine.PrevG, error) {
+	rel := c.spec.Relation
+	var lastErr error
+	for attempt := 0; attempt < pinRetries; attempt++ {
+		repoch := c.repoch.Load()
+		feeds := make([]engine.ShardFeed, 0, len(sub))
+		hellos := make([]wire.NodeHello, 0, len(sub))
+		ok := true
+		// staleRouting classifies a not-hosting refusal: transparent
+		// retry when the table moved under us, hard error otherwise.
+		staleRouting := func(shard int, url string, err error) error {
+			c.routingRetries.Add(1)
+			if c.repoch.Load() == repoch {
+				return fmt.Errorf("%w: shard %d at %s (routing epoch %d): %v",
+					ErrRoutingStale, shard, url, repoch, err)
+			}
+			lastErr = err
+			ok = false
+			return nil
+		}
+		for i, sr := range sub {
+			url, err := c.routeFor(sr.Shard)
+			if err != nil {
+				closeFeeds(feeds)
+				return nil, nil, err
+			}
+			cl, err := c.client(url)
+			if err != nil {
+				closeFeeds(feeds)
+				return nil, nil, err
+			}
+			ns, err := cl.ShardStream(wire.ShardStreamRequest{
+				Role: roleName, Query: q, Shard: sr.Shard,
+				Lo: sr.Lo, Hi: sr.Hi,
+				First: i == 0, Last: i == len(sub)-1,
+				ChunkRows: chunkRows, RoutingEpoch: repoch,
+			})
+			if err != nil {
+				closeFeeds(feeds)
+				if wire.IsNotHosting(err) {
+					if herr := staleRouting(sr.Shard, url, err); herr != nil {
+						return nil, nil, herr
+					}
+					break
+				}
+				return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", sr.Shard, url, err)
+			}
+			feeds = append(feeds, &remoteFeed{ns: ns, shard: sr.Shard, relation: rel})
+			hellos = append(hellos, ns.Hello())
+			if i > 0 && !hellos[i-1].Edges.HandoffOK(hellos[i].Edges) {
+				// A boundary change is mid-cutover somewhere between these
+				// two nodes' pins; re-pin the whole set.
+				c.handoffRetries.Add(1)
+				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", sub[i-1].Shard, sr.Shard)
+				ok = false
+				break
+			}
+		}
+		var prevG engine.PrevG
+		if ok && sub[0].Shard > 0 {
+			// Pin the preceding shard's seam material with the cover: the
+			// empty-range corner may need g(pred-1) from it, and a lazy
+			// fetch at footer time could observe a later epoch than the
+			// pinned first slice.
+			prev := sub[0].Shard - 1
+			url, err := c.routeFor(prev)
+			if err != nil {
+				closeFeeds(feeds)
+				return nil, nil, err
+			}
+			cl, err := c.client(url)
+			if err != nil {
+				closeFeeds(feeds)
+				return nil, nil, err
+			}
+			resp, err := cl.ShardEdges(wire.ShardRef{Relation: rel, Shard: prev})
+			switch {
+			case err != nil && wire.IsNotHosting(err):
+				if herr := staleRouting(prev, url, err); herr != nil {
+					closeFeeds(feeds)
+					return nil, nil, herr
+				}
+			case err != nil:
+				closeFeeds(feeds)
+				return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", prev, url, err)
+			case !resp.Edges.HandoffOK(hellos[0].Edges):
+				c.handoffRetries.Add(1)
+				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", prev, sub[0].Shard)
+				ok = false
+			default:
+				g := resp.Edges.Tail[0].G
+				prevG = func() (hashx.Digest, error) { return g, nil }
+			}
+		}
+		if ok {
+			return feeds, prevG, nil
+		}
+		closeFeeds(feeds)
+		runtime.Gosched()
+	}
+	return nil, nil, fmt.Errorf("%w: %v", ErrClusterPin, lastErr)
+}
+
+func closeFeeds(feeds []engine.ShardFeed) {
+	for _, f := range feeds {
+		f.Close()
+	}
+}
+
+// Query answers one materialized query by collecting its merged stream.
+func (c *Coordinator) Query(roleName string, q engine.Query) (*engine.Result, error) {
+	st, err := c.QueryStream(roleName, q, 0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := engine.Collect(st)
+	if err != nil {
+		c.errors.Add(1)
+		return nil, err
+	}
+	return res, nil
+}
+
+// Stats is the coordinator's /statsz snapshot.
+type Stats struct {
+	Queries, Streams, Fanouts, Errors uint64
+	// HandoffRetries counts cross-node epoch-set re-pins; RoutingRetries
+	// counts pins retried after a node's stale-routing refusal.
+	HandoffRetries, RoutingRetries uint64
+	DeltasApplied, Migrations      uint64
+	RoutingEpoch                   uint64
+	SpecVersion                    uint64
+	// Routing maps shard index to assigned node URL.
+	Routing []string
+}
+
+// Stats snapshots the counters.
+func (c *Coordinator) Stats() Stats {
+	return Stats{
+		Queries:        c.queries.Load(),
+		Streams:        c.streams.Load(),
+		Fanouts:        c.fanouts.Load(),
+		Errors:         c.errors.Load(),
+		HandoffRetries: c.handoffRetries.Load(),
+		RoutingRetries: c.routingRetries.Load(),
+		DeltasApplied:  c.deltasApplied.Load(),
+		Migrations:     c.migrations.Load(),
+		RoutingEpoch:   c.repoch.Load(),
+		SpecVersion:    c.spec.Version,
+		Routing:        c.Routing(),
+	}
+}
+
+// sortedNodeURLs returns the deterministic node processing order used by
+// control-plane operations.
+func sortedKeys[V any](m map[string]V) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}

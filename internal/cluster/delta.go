@@ -1,0 +1,246 @@
+package cluster
+
+import (
+	"fmt"
+	"sort"
+
+	"vcqr/internal/core"
+	"vcqr/internal/delta"
+	"vcqr/internal/engine"
+	"vcqr/internal/partition"
+	"vcqr/internal/wire"
+)
+
+// ApplyDelta routes an owner update batch across the shard nodes with
+// the same all-or-nothing contract the in-process partitioned server
+// gives, held across processes by a two-phase protocol:
+//
+//  1. prepare — each affected node stages its shards' sub-batches:
+//     apply on clones, stitch co-hosted mirrors, validate everything
+//     locally checkable. Nothing publishes.
+//  2. mirror fixes — for every seam whose sides stage on different
+//     nodes, the coordinator pushes the owning side's staged edge
+//     record to the neighbour, which validates the adjacent signature
+//     against it and stages the fix.
+//  3. seam checks — the coordinator re-proves every affected seam from
+//     staged edge material (partition.CheckSeam): the digest compare
+//     plus both hand-off signatures, exactly the validations the nodes
+//     deferred.
+//  4. commit — each node publishes its staged slices.
+//
+// Any failure before commit aborts every staged transaction and leaves
+// all published epochs untouched. The commit fan-out itself is not
+// atomic across nodes — the same per-shard non-atomicity the in-process
+// publish has — and readers absorb it the same way, by re-pinning on an
+// observed hand-off mismatch. A coordinator crash mid-protocol leaves
+// only staged state, which the next prepare discards.
+func (c *Coordinator) ApplyDelta(d delta.Delta) (uint64, error) {
+	if d.Relation != c.spec.Relation {
+		return 0, fmt.Errorf("%w: %q", engine.ErrUnknownRelation, d.Relation)
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+
+	epoch, err := c.applyDelta(d)
+	if err != nil {
+		c.errors.Add(1)
+		return 0, err
+	}
+	c.deltasApplied.Add(1)
+	return epoch, nil
+}
+
+func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
+	k := c.spec.K()
+
+	// Route every op to its owning shard, then group shards by node,
+	// preserving op order within each node's batch.
+	nodeOps := map[string][]delta.Op{}
+	for _, op := range d.Ops {
+		var shard int
+		switch {
+		case op.Kind == delta.OpUpsert && op.Rec.Kind == core.KindDelimLeft:
+			shard = 0
+		case op.Kind == delta.OpUpsert && op.Rec.Kind == core.KindDelimRight:
+			shard = k - 1
+		default:
+			var err error
+			shard, err = c.spec.ShardFor(op.Key)
+			if err != nil {
+				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
+			}
+		}
+		url, err := c.routeFor(shard)
+		if err != nil {
+			return 0, err
+		}
+		nodeOps[url] = append(nodeOps[url], op)
+	}
+	if len(nodeOps) == 0 {
+		return 0, fmt.Errorf("cluster: empty delta")
+	}
+
+	// Phase 1: prepare on every affected node.
+	tokens := map[string]uint64{}
+	staged := map[int]partition.Edges{} // staged seam material per shard
+	stagedAt := map[int]string{}        // which node stages which shard
+	abort := func() {
+		for url, tok := range tokens {
+			if cl, err := c.client(url); err == nil {
+				cl.NodeTx(wire.TxRequest{Relation: d.Relation, Token: tok, Commit: false})
+			}
+		}
+	}
+	for _, url := range sortedKeys(nodeOps) {
+		cl, err := c.client(url)
+		if err != nil {
+			abort()
+			return 0, err
+		}
+		resp, err := cl.NodeDeltaPrepare(delta.Delta{Relation: d.Relation, Ops: nodeOps[url]})
+		if err != nil {
+			abort()
+			return 0, fmt.Errorf("cluster: prepare on %s: %w", url, err)
+		}
+		tokens[url] = resp.Token
+		for _, m := range resp.Modified {
+			staged[m.Shard] = m.Edges
+			stagedAt[m.Shard] = url
+		}
+	}
+
+	// Phase 2: cross-node mirror fixes. A staged shard's edge records
+	// must be mirrored by its neighbours; neighbours staged on the same
+	// node were stitched during prepare, the rest get a pushed fix.
+	modified := make([]int, 0, len(staged))
+	for i := range staged {
+		modified = append(modified, i)
+	}
+	sort.Ints(modified)
+	currentEdges := func(shard int) (partition.Edges, string, error) {
+		if e, ok := staged[shard]; ok {
+			return e, stagedAt[shard], nil
+		}
+		url, err := c.routeFor(shard)
+		if err != nil {
+			return partition.Edges{}, "", err
+		}
+		cl, err := c.client(url)
+		if err != nil {
+			return partition.Edges{}, "", err
+		}
+		resp, err := cl.ShardEdges(wire.ShardRef{Relation: d.Relation, Shard: shard})
+		if err != nil {
+			return partition.Edges{}, "", err
+		}
+		return resp.Edges, url, nil
+	}
+	pushMirror := func(neighbour int, left bool, want core.SignedRecord) error {
+		edges, url, err := currentEdges(neighbour)
+		if err != nil {
+			return err
+		}
+		cur := edges.Head[0]
+		if !left {
+			cur = edges.Tail[2]
+		}
+		if partition.SameRecord(cur, want) {
+			return nil // mirror already accurate (or co-hosted stitch fixed it)
+		}
+		cl, err := c.client(url)
+		if err != nil {
+			return err
+		}
+		resp, err := cl.NodeMirror(wire.MirrorRequest{
+			Token: tokens[url], Relation: d.Relation, Shard: neighbour, Left: left, Rec: want,
+		})
+		if err != nil {
+			return fmt.Errorf("mirror fix for shard %d on %s: %w", neighbour, url, err)
+		}
+		tokens[url] = resp.Token
+		staged[neighbour] = resp.Edges
+		stagedAt[neighbour] = url
+		return nil
+	}
+	for _, i := range modified {
+		e := staged[i]
+		if i > 0 {
+			// Left neighbour's right context must mirror shard i's first
+			// owned record.
+			if err := pushMirror(i-1, false, e.Head[1]); err != nil {
+				abort()
+				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
+			}
+		}
+		if i < k-1 {
+			// Right neighbour's left context must mirror shard i's last
+			// owned record.
+			if err := pushMirror(i+1, true, e.Tail[1]); err != nil {
+				abort()
+				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
+			}
+		}
+	}
+
+	// Phase 3: seam checks over staged edge material — the validations
+	// the nodes deferred, plus the digest compare, for every seam
+	// adjacent to anything staged.
+	stagedNow := make([]int, 0, len(staged))
+	for i := range staged {
+		stagedNow = append(stagedNow, i)
+	}
+	sort.Ints(stagedNow)
+	seams := map[int]bool{} // seam x joins shards x and x+1
+	for _, i := range stagedNow {
+		if i > 0 {
+			seams[i-1] = true
+		}
+		if i < k-1 {
+			seams[i] = true
+		}
+	}
+	seamList := make([]int, 0, len(seams))
+	for x := range seams {
+		seamList = append(seamList, x)
+	}
+	sort.Ints(seamList)
+	for _, x := range seamList {
+		left, _, err := currentEdges(x)
+		if err != nil {
+			abort()
+			return 0, err
+		}
+		right, _, err := currentEdges(x + 1)
+		if err != nil {
+			abort()
+			return 0, err
+		}
+		if err := partition.CheckSeam(c.h, c.pub, c.params, left, right); err != nil {
+			abort()
+			return 0, fmt.Errorf("cluster: delta rejected: seam %d-%d: %w", x, x+1, err)
+		}
+	}
+
+	// Phase 4: commit everywhere. Failures here are partial by nature;
+	// report them with the nodes that did commit so the operator can
+	// reconcile (the staged-versus-published divergence is visible in
+	// /shard/digest).
+	var epoch uint64
+	committed := make([]string, 0, len(tokens))
+	for _, url := range sortedKeys(tokens) {
+		cl, err := c.client(url)
+		if err == nil {
+			var resp wire.OKResponse
+			resp, err = cl.NodeTx(wire.TxRequest{Relation: d.Relation, Token: tokens[url], Commit: true})
+			if resp.Epoch > epoch {
+				epoch = resp.Epoch
+			}
+		}
+		if err != nil {
+			return 0, fmt.Errorf("cluster: commit on %s failed after %d of %d nodes committed (%v): %w",
+				url, len(committed), len(tokens), committed, err)
+		}
+		committed = append(committed, url)
+	}
+	return epoch, nil
+}

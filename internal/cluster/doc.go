@@ -1,0 +1,59 @@
+// Package cluster is the distributed serving tier: a coordinator that
+// owns the authenticated partition layout ([partition.Spec]) and fans
+// queries out to shard nodes — separate internal/server processes, each
+// hosting one or more shard slices behind the wire protocol.
+//
+// # Why remote shard nodes stay untrusted
+//
+// The paper's publisher/owner split is exactly what makes a distributed
+// tier safe to build from untrusted parts. Every node is a publisher in
+// miniature: anything it serves is checked by the user against the
+// owner's key, so the coordinator never needs to *trust* a node — not
+// its entries, not its partial condensed signature, not its boundary
+// proofs. A lying node produces a merged stream the unmodified
+// verify.ShardStreamVerifier rejects; the cluster protocol only needs
+// integrity signals for fail-fast operation, not integrity guarantees:
+//
+//   - hand-off consistency between nodes travels as the same digest
+//     compare the in-process server uses (partition.Edges.HandoffOK over
+//     each sub-stream's hello frame), with bounded re-pinning when a
+//     boundary change is observed mid-cutover;
+//   - shard transfers carry a slice digest (partition.SliceDigest) and
+//     are signature-validated on arrival, so a tampered transfer is
+//     rejected by name before it can serve anything;
+//   - seam health after a distributed delta is re-proved from shipped
+//     edge material (partition.CheckSeam) at the coordinator.
+//
+// # The three invariants, held across processes
+//
+// One global signature chain (owned by internal/partition): slices move
+// between nodes verbatim — no re-signing, ever. Mirrored boundaries:
+// adjacent slices' context records stay byte-identical copies of each
+// other's edge records; cross-node deltas stage on every affected node,
+// get their mirrors stitched by coordinator-pushed fixes, and commit
+// only after every affected seam re-validates. Epoch pinning (owned by
+// internal/server): each node pins its slice for a sub-stream's whole
+// life, and the coordinator's merge consumes one pinned sub-stream per
+// covering shard, so a cluster stream verifies against a consistent
+// epoch set no matter what cuts over mid-drain.
+//
+// # Online span migration
+//
+// Rebalance moves a hot shard's slice between nodes while serving:
+// copy (transfer + validate + AggIndex rebuild on the target, live
+// deltas still landing on the source), catch-up (re-copy until the
+// source digest holds still), cutover (a short exclusive window in
+// which deltas wait, a final digest compare proves the copies
+// identical, and the routing table swings atomically), then drain (the
+// source copy is removed; its pinned in-flight streams finish
+// unharmed). A query that races the swing gets the node's "not hosting"
+// refusal and is retried against the fresh routing table — zero
+// rejected in-flight queries, by construction rather than by luck.
+// Recover rebuilds a crashed coordinator's routing table from node
+// inventories, using slice digests (current vs at-install) to resolve
+// double-hosted shards left behind by an interrupted migration.
+//
+// DESIGN.md ("Distributed serving") documents the trust model, the
+// migration state machine and the failure-mode table; docs/OPERATIONS.md
+// is the operator's handbook for running a coordinator and its nodes.
+package cluster

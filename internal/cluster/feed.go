@@ -1,0 +1,41 @@
+package cluster
+
+import (
+	"vcqr/internal/engine"
+	"vcqr/internal/wire"
+)
+
+// remoteFeed adapts one node sub-stream to the engine's ShardFeed seam:
+// the hello maps to the head, the wire foot to the feed foot. The
+// adapter adds nothing — all merge semantics live in engine.MergeShards,
+// which is what keeps the remote fan-out byte-identical to the local
+// one.
+type remoteFeed struct {
+	ns       *wire.NodeStream
+	shard    int
+	relation string
+}
+
+func (f *remoteFeed) Head() (engine.ShardHead, error) {
+	hello := f.ns.Hello()
+	return engine.ShardHead{Shard: f.shard, Left: hello.Left}, nil
+}
+
+func (f *remoteFeed) Next() (*engine.Chunk, error) { return f.ns.Next() }
+
+func (f *remoteFeed) Foot() (engine.ShardFeedFoot, error) {
+	foot, err := f.ns.Foot()
+	if err != nil {
+		return engine.ShardFeedFoot{}, err
+	}
+	return engine.ShardFeedFoot{
+		Entries:   foot.Entries,
+		Partial:   foot.Partial,
+		Right:     foot.Right,
+		PredSig:   foot.PredSig,
+		PredPrevG: foot.PredPrevG,
+		NeedPrevG: foot.NeedPrevG,
+	}, nil
+}
+
+func (f *remoteFeed) Close() error { return f.ns.Close() }

@@ -1,0 +1,121 @@
+package cluster
+
+import (
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+
+	"vcqr/internal/delta"
+	"vcqr/internal/wire"
+)
+
+// Handler returns the coordinator's HTTP API. The user-facing endpoints
+// (/query, /stream, /delta, /healthz, /statsz) speak exactly the wire
+// protocol a single-process vcserve speaks, so vcquery and owner tooling
+// work against a coordinator unchanged; /admin adds the control plane an
+// operator drives:
+//
+//	POST /query            gob wire.Request       -> gob wire.Response
+//	POST /stream           gob wire.StreamRequest -> chunk frames
+//	POST /delta            gob delta.Delta        -> gob wire.DeltaResponse
+//	GET  /healthz          "ok"
+//	GET  /statsz           JSON cluster.Stats
+//	GET  /admin/routing    JSON routing table
+//	POST /admin/rebalance  ?shard=N&to=URL        -> JSON RebalanceReport
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/query", wire.QueryHandler(c.Query))
+	mux.HandleFunc("/stream", c.handleStream)
+	mux.HandleFunc("/delta", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		var resp wire.DeltaResponse
+		var d delta.Delta
+		if err := gob.NewDecoder(r.Body).Decode(&d); err != nil {
+			resp.Err = err.Error()
+		} else if epoch, err := c.ApplyDelta(d); err != nil {
+			resp.Err = err.Error()
+		} else {
+			resp.Epoch = epoch
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		gob.NewEncoder(w).Encode(resp)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/statsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(c.Stats())
+	})
+	mux.HandleFunc("/admin/routing", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			RoutingEpoch uint64
+			Routing      []string
+		}{c.RoutingEpoch(), c.Routing()})
+	})
+	mux.HandleFunc("/admin/rebalance", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		shard, err := strconv.Atoi(r.FormValue("shard"))
+		if err != nil {
+			http.Error(w, "shard must be an integer", http.StatusBadRequest)
+			return
+		}
+		to := r.FormValue("to")
+		if to == "" {
+			http.Error(w, "to must name a node URL", http.StatusBadRequest)
+			return
+		}
+		rep, err := c.Rebalance(shard, to)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(rep)
+	})
+	return mux
+}
+
+// handleStream serves one merged cross-node stream, flushing per frame —
+// the same contract as the single-process /stream endpoint, over the
+// same verifiers.
+func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST only", http.StatusMethodNotAllowed)
+		return
+	}
+	var req wire.StreamRequest
+	if err := gob.NewDecoder(r.Body).Decode(&req); err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	st, err := c.QueryStream(req.Role, req.Query, req.ChunkRows)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	if err := wire.WriteStream(flushWriter{w}, st); err != nil {
+		c.errors.Add(1)
+	}
+}
+
+// flushWriter adapts the response writer so wire.WriteStream flushes
+// after every frame.
+type flushWriter struct{ w http.ResponseWriter }
+
+func (fw flushWriter) Write(p []byte) (int, error) { return fw.w.Write(p) }
+func (fw flushWriter) Flush() {
+	if f, ok := fw.w.(http.Flusher); ok {
+		f.Flush()
+	}
+}

@@ -1,0 +1,323 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"vcqr/internal/wire"
+)
+
+// Migration errors.
+var (
+	// ErrMigrateSameNode refuses a rebalance whose target already hosts
+	// the shard per the routing table.
+	ErrMigrateSameNode = errors.New("cluster: shard already assigned to the target node")
+	// ErrMigrateDiverged aborts a cutover whose final digest compare
+	// found the source and target copies unequal — the transfer raced
+	// something it should not have, or was tampered with.
+	ErrMigrateDiverged = errors.New("cluster: migration cutover digest compare failed")
+	// ErrMigrateUnsettled aborts a migration whose source would not hold
+	// still long enough to copy (sustained delta pressure beyond the
+	// catch-up budget).
+	ErrMigrateUnsettled = errors.New("cluster: source shard would not settle within the catch-up budget")
+	// ErrRecoverIncomplete reports a recovery that found no copy of some
+	// shard on any node.
+	ErrRecoverIncomplete = errors.New("cluster: recovery found shards with no hosting node")
+)
+
+// copyRounds bounds the unlocked catch-up loop: how many times a copy is
+// re-taken because a live delta moved the source mid-transfer before the
+// migration gives up. The final round always runs under the control
+// lock, where deltas wait, so the bound only limits wasted work.
+const copyRounds = 3
+
+// RebalanceReport summarizes one completed migration.
+type RebalanceReport struct {
+	Relation string
+	Shard    int
+	From, To string
+	Records  int
+	// CopyRounds counts transfers taken (>1 means live deltas landed on
+	// the source mid-copy and the migration caught up).
+	CopyRounds int
+	// CopyDuration is wall time spent transferring outside the control
+	// lock; CutoverDuration is the exclusive window during which deltas
+	// waited — the number an operator watches.
+	CopyDuration, CutoverDuration time.Duration
+	// RoutingEpoch is the table version after the swing.
+	RoutingEpoch uint64
+	// DrainErr carries a non-fatal failure removing the source copy
+	// after the swing (the copy keeps serving pinned streams either
+	// way; remove it manually if set).
+	DrainErr string
+}
+
+// Rebalance migrates one shard's slice to another node while serving:
+//
+//	copy     — transfer source → target (validated, digest-compared,
+//	           AggIndex rebuilt on arrival); live deltas keep landing on
+//	           the source, and queries keep routing to it.
+//	catch-up — if the source's digest moved during a copy, copy again
+//	           (bounded), still without blocking anything.
+//	cutover  — take the control lock (deltas wait; queries do not), take
+//	           a final copy if the source moved again, prove source and
+//	           target identical by digest compare, and swing the routing
+//	           table atomically, bumping the routing epoch.
+//	drain    — release the lock and remove the source copy. Streams
+//	           pinned on it finish unharmed; a query that raced the
+//	           swing gets the node's not-hosting refusal and retries
+//	           against the fresh table.
+//
+// On any failure before the swing the routing table is untouched, the
+// target copy is removed, and live traffic never noticed.
+func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) {
+	rel := c.spec.Relation
+	ref := wire.ShardRef{Relation: rel, Shard: shard}
+	toCl, err := c.client(to)
+	if err != nil {
+		return nil, err
+	}
+	from, err := c.routeFor(shard)
+	if err != nil {
+		return nil, err
+	}
+	if from == to {
+		return nil, fmt.Errorf("%w: shard %d at %s", ErrMigrateSameNode, shard, to)
+	}
+	fromCl, err := c.client(from)
+	if err != nil {
+		return nil, err
+	}
+	rep := &RebalanceReport{Relation: rel, Shard: shard, From: from, To: to}
+	abort := func(err error) (*RebalanceReport, error) {
+		// Forget the partial copy — unless the routing table points at
+		// the target meanwhile (a concurrent duplicate rebalance already
+		// swung there); removing the live-routed copy would take the
+		// shard offline.
+		if cur, rerr := c.routeFor(shard); rerr != nil || cur != to {
+			toCl.ShardRemove(ref)
+		}
+		return nil, err
+	}
+
+	// copy + catch-up, outside the lock: deltas and queries flow.
+	copyStart := time.Now()
+	var settled wire.DigestResponse
+	ok := false
+	for round := 0; round < copyRounds && !ok; round++ {
+		before, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			return abort(fmt.Errorf("cluster: migration source digest: %w", err))
+		}
+		if err := c.transfer(fromCl, toCl, ref); err != nil {
+			return abort(fmt.Errorf("cluster: migration transfer: %w", err))
+		}
+		rep.CopyRounds++
+		after, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			return abort(fmt.Errorf("cluster: migration source digest: %w", err))
+		}
+		if after.Digest.Equal(before.Digest) {
+			settled, ok = after, true
+		}
+	}
+	rep.CopyDuration = time.Since(copyStart)
+
+	// cutover, under the lock: deltas wait, queries do not.
+	cutStart := time.Now()
+	c.ctl.Lock()
+	// Re-validate the premise under the lock: a concurrent rebalance of
+	// the same shard may have swung the table while we were copying.
+	if cur, rerr := c.routeFor(shard); rerr != nil || cur != from {
+		c.ctl.Unlock()
+		return abort(fmt.Errorf("cluster: routing for shard %d changed to %q during the copy (concurrent rebalance?); migration aborted", shard, cur))
+	}
+	current, err := fromCl.ShardDigest(ref)
+	if err != nil {
+		c.ctl.Unlock()
+		return abort(fmt.Errorf("cluster: migration source digest: %w", err))
+	}
+	if !ok || !current.Digest.Equal(settled.Digest) {
+		// One final copy with the delta path quiesced; if the source
+		// still will not settle, something other than deltas is mutating
+		// it and the migration must not guess.
+		if err := c.transfer(fromCl, toCl, ref); err != nil {
+			c.ctl.Unlock()
+			return abort(fmt.Errorf("cluster: migration catch-up transfer: %w", err))
+		}
+		rep.CopyRounds++
+		again, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			c.ctl.Unlock()
+			return abort(fmt.Errorf("cluster: migration source digest: %w", err))
+		}
+		if !again.Digest.Equal(current.Digest) {
+			c.ctl.Unlock()
+			return abort(fmt.Errorf("%w: shard %d", ErrMigrateUnsettled, shard))
+		}
+		current = again
+	}
+	// The decisive digest compare: target must hold exactly the bytes
+	// the source holds, or the swing does not happen.
+	target, err := toCl.ShardDigest(ref)
+	if err != nil {
+		c.ctl.Unlock()
+		return abort(fmt.Errorf("cluster: migration target digest: %w", err))
+	}
+	if !target.Digest.Equal(current.Digest) {
+		c.ctl.Unlock()
+		return abort(fmt.Errorf("%w: shard %d: source %x target %x",
+			ErrMigrateDiverged, shard, current.Digest, target.Digest))
+	}
+	rep.Records = target.Records
+	c.mu.Lock()
+	c.route[shard] = to
+	c.mu.Unlock()
+	rep.RoutingEpoch = c.repoch.Add(1)
+	c.ctl.Unlock()
+	rep.CutoverDuration = time.Since(cutStart)
+
+	// drain: double-serving ends. In-flight streams hold their pinned
+	// epochs; only new pins move to the target.
+	if err := fromCl.ShardRemove(ref); err != nil {
+		rep.DrainErr = err.Error()
+	}
+	c.migrations.Add(1)
+	return rep, nil
+}
+
+// transfer pipes one shard slice from a source node to a target node.
+// The target validates structure, every locally-checkable signature and
+// the slice digest before hosting (and rebuilds the crypto index on
+// publish), so a tampered or truncated transfer never installs.
+func (c *Coordinator) transfer(from, to *wire.Client, ref wire.ShardRef) error {
+	body, err := from.ShardFetch(ref)
+	if err != nil {
+		return err
+	}
+	defer body.Close()
+	_, err = to.ShardInstall(body)
+	return err
+}
+
+// RecoveryReport summarizes a routing-table rebuild.
+type RecoveryReport struct {
+	// Assigned maps shard → node URL adopted into the routing table.
+	Assigned map[int]string
+	// DroppedCopies lists redundant copies removed from losing nodes
+	// ("shard@node").
+	DroppedCopies []string
+	// Diverged lists shards whose copies disagreed by digest — evidence
+	// of a migration interrupted between copy and swing. The copy that
+	// has been written to since its install wins; verify with the
+	// operator handbook's recovery checklist.
+	Diverged []int
+	// Ambiguous lists diverged shards where the written-since-install
+	// signal did not single out one copy (both copies took writes, or
+	// neither reports an install digest). The keep is deterministic
+	// (configured node order) but must be operator-verified.
+	Ambiguous []int
+}
+
+// Recover rebuilds the routing table by inventorying every node — the
+// restart path after a coordinator crash. Every shard must be hosted
+// somewhere; a shard hosted on several nodes (an interrupted migration's
+// double-serve window) is resolved by digest compare: identical copies
+// keep the first node and drop the rest, divergent copies keep the one
+// whose current digest differs from its install digest — the copy the
+// cluster has been writing to — and drop the idle transfer. If that
+// signal does not single out one copy (both written to), the keep is
+// deterministic but reported as Ambiguous for the operator.
+func (c *Coordinator) Recover() (*RecoveryReport, error) {
+	rel := c.spec.Relation
+	type copyAt struct {
+		url string
+		hs  wire.HostedShard
+	}
+	candidates := map[int][]copyAt{}
+	for _, url := range c.nodes {
+		cl, err := c.client(url)
+		if err != nil {
+			return nil, err
+		}
+		inv, err := cl.Hosted()
+		if err != nil {
+			return nil, fmt.Errorf("cluster: inventorying %s: %w", url, err)
+		}
+		info, hosts := inv.Relations[rel]
+		if !hosts {
+			continue
+		}
+		if !info.Spec.Same(c.spec) {
+			return nil, fmt.Errorf("%w: %s hosts v%d, coordinator has v%d",
+				ErrSpecMismatch, url, info.Spec.Version, c.spec.Version)
+		}
+		for _, hs := range info.Shards {
+			candidates[hs.Shard] = append(candidates[hs.Shard], copyAt{url: url, hs: hs})
+		}
+	}
+
+	rep := &RecoveryReport{Assigned: map[int]string{}}
+	assign := make([]string, c.spec.K())
+	missing := []int{}
+	for shard := 0; shard < c.spec.K(); shard++ {
+		copies := candidates[shard]
+		if len(copies) == 0 {
+			missing = append(missing, shard)
+			continue
+		}
+		winner := copies[0]
+		if len(copies) > 1 {
+			diverged := false
+			for _, cp := range copies[1:] {
+				if !cp.hs.Digest.Equal(winner.hs.Digest) {
+					diverged = true
+				}
+			}
+			if diverged {
+				rep.Diverged = append(rep.Diverged, shard)
+				// The written-to copy is the one whose content moved since
+				// its install (absolute delta counters are incomparable
+				// across copies with different install times). Exactly one
+				// such copy → it wins; otherwise keep node order and flag.
+				written := []copyAt{}
+				for _, cp := range copies {
+					if len(cp.hs.InstallDigest) > 0 && !cp.hs.Digest.Equal(cp.hs.InstallDigest) {
+						written = append(written, cp)
+					}
+				}
+				if len(written) == 1 {
+					winner = written[0]
+				} else {
+					rep.Ambiguous = append(rep.Ambiguous, shard)
+				}
+			}
+			for _, cp := range copies {
+				if cp.url == winner.url {
+					continue
+				}
+				if cl, err := c.client(cp.url); err == nil {
+					if err := cl.ShardRemove(wire.ShardRef{Relation: rel, Shard: shard}); err == nil {
+						rep.DroppedCopies = append(rep.DroppedCopies, fmt.Sprintf("%d@%s", shard, cp.url))
+					}
+				}
+			}
+		}
+		assign[shard] = winner.url
+		rep.Assigned[shard] = winner.url
+	}
+	if len(missing) > 0 {
+		sort.Ints(missing)
+		return rep, fmt.Errorf("%w: shards %v", ErrRecoverIncomplete, missing)
+	}
+	c.mu.Lock()
+	c.route = assign
+	c.mu.Unlock()
+	c.repoch.Add(1)
+	sort.Ints(rep.Diverged)
+	sort.Ints(rep.Ambiguous)
+	sort.Strings(rep.DroppedCopies)
+	return rep, nil
+}

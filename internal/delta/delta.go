@@ -1,9 +1,3 @@
-// Package delta implements incremental owner-to-publisher synchronization
-// for signed relations — the deployment counterpart of Section 6.3's
-// update-cost argument. A record change invalidates only three
-// signatures, so the owner ships just the touched records instead of a
-// fresh snapshot; the publisher applies them and re-validates exactly the
-// affected neighbourhood.
 package delta
 
 import (

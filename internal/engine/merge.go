@@ -1,0 +1,471 @@
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/core"
+	"vcqr/internal/hashx"
+	"vcqr/internal/sig"
+)
+
+// This file is the remote-source seam of the fan-out pipeline. A
+// single-process fan-out (fanout.go) merges per-shard entry runs whose
+// slices it holds in memory; a distributed one (internal/cluster) must
+// merge runs produced by shard nodes in other processes. The seam splits
+// the fan-out into the two halves that cross the wire:
+//
+//   - ShardPartial is the node half: one shard's contribution to a
+//     fan-out — its entry chunks, its partial condensed signature, and
+//     whichever boundary proofs its position in the cover obliges it to
+//     supply. It is built from the same buildEntry/ProveBoundary
+//     primitives as fanout.go, so the pieces are byte-identical to what
+//     an in-process worker would produce.
+//
+//   - MergeShards is the coordinator half: it concatenates per-shard
+//     feeds (in hand-off order) into the canonical chunk sequence — one
+//     header, the entry runs, one footer with the combined condensed
+//     signature and per-shard continuity accounting. The output is
+//     byte-identical to FanoutStream over the same pinned slices, which
+//     is the whole point: the unmodified stream verifiers accept a
+//     cluster-served stream exactly as they accept a local one.
+//
+// Nothing in the seam is trusted: a node that lies in its chunks,
+// partial, or boundary proof produces a merged stream the user's
+// verifier rejects. The seam's correctness obligations are only about
+// the honest path staying byte-identical.
+
+// ShardHead is what the merger needs from a feed before its first
+// entries chunk: the shard index and, for the first covering shard, the
+// left boundary proof of the whole effective range.
+type ShardHead struct {
+	Shard int
+	Left  *core.BoundaryProof
+}
+
+// ShardFeedFoot summarizes a drained feed: how many entries it
+// contributed, its partial condensed signature (nil when empty or in
+// individual-signature mode), the right boundary proof when the feed is
+// the last covering shard, and the empty-range predecessor material when
+// the feed is the first covering shard and covered no records.
+type ShardFeedFoot struct {
+	Entries uint64
+	Partial sig.Signature
+	Right   *core.BoundaryProof
+	// PredSig and PredPrevG carry the Section 3.2 Case 2 material for a
+	// globally empty range: the predecessor's signature and the g digest
+	// of the record before it. NeedPrevG reports that g lives one shard
+	// to the left (the predecessor is this slice's left context), in
+	// which case the merger resolves it through its PrevG callback.
+	PredSig   sig.Signature
+	PredPrevG hashx.Digest
+	NeedPrevG bool
+}
+
+// ShardFeed is one covering shard's contribution to a merged fan-out, in
+// consumption order: Head once, Next until io.EOF, then Foot. Close
+// releases the feed's resources at any point; the merger closes every
+// feed when the stream errors or is abandoned.
+type ShardFeed interface {
+	Head() (ShardHead, error)
+	Next() (*Chunk, error)
+	Foot() (ShardFeedFoot, error)
+	Close() error
+}
+
+// PrevG resolves the g digest of the record preceding the first covering
+// shard's left context — needed in exactly one corner: a globally empty
+// result whose predecessor is that context record. The distributed
+// caller implements it as an edge fetch from the preceding shard's node.
+type PrevG func() (hashx.Digest, error)
+
+// ShardPartial produces one shard's partial fan-out: the entries chunks
+// covering [lo, hi] on this slice, then a summary foot. It implements
+// ShardFeed, so a node-local merge (tests) and a remote one (the wire
+// adapter in internal/cluster) consume it identically.
+//
+// The caller supplies the already-pinned slice and the sub-range the
+// shard covers; role resolution and the effective rewrite are recomputed
+// here exactly as the in-process fan-out's planner does, and the
+// sub-range must tile into the effective range ([lo, hi] inside it,
+// anchored at its ends when first/last are set).
+func (p *Publisher) ShardPartial(sr *core.SignedRelation, roleName string, q Query, shard int, lo, hi uint64, first, last bool, opts StreamOpts) (*ShardPartial, error) {
+	role, err := p.policy.Role(roleName)
+	if err != nil {
+		return nil, err
+	}
+	if err := q.Validate(sr.Schema); err != nil {
+		return nil, err
+	}
+	eff, err := rewrite(sr, role, q)
+	if err != nil {
+		return nil, err
+	}
+	if eff.Distinct {
+		// Duplicate elision is a cross-shard dependency: it needs one
+		// sequential pass over the merged run, which a per-shard partial
+		// cannot provide.
+		return nil, fmt.Errorf("engine: DISTINCT cannot be served as a shard partial")
+	}
+	if lo > hi || lo < eff.KeyLo || hi > eff.KeyHi {
+		return nil, fmt.Errorf("engine: sub-range [%d,%d] outside effective range [%d,%d]", lo, hi, eff.KeyLo, eff.KeyHi)
+	}
+	if first && lo != eff.KeyLo {
+		return nil, fmt.Errorf("engine: first shard partial must start at %d, got %d", eff.KeyLo, lo)
+	}
+	if last && hi != eff.KeyHi {
+		return nil, fmt.Errorf("engine: last shard partial must end at %d, got %d", eff.KeyHi, hi)
+	}
+	a, b := sr.RangeIndices(lo, hi)
+	sp := &ShardPartial{
+		p: p, sr: sr, role: role, eff: eff,
+		shard: shard, lo: lo, hi: hi, first: first, last: last,
+		chunkRows: opts.chunkRows(), a: a, b: b, pos: a,
+		reuse: opts.ReuseChunks,
+	}
+	if p.Aggregate {
+		if ix := sr.AggIndex(); ix != nil && ix.Len() == len(sr.Recs) {
+			sp.idx = ix
+		} else {
+			sp.agg = p.pub.NewAggregator()
+		}
+	}
+	return sp, nil
+}
+
+// ShardPartial is the node half of a distributed fan-out; see
+// Publisher.ShardPartial.
+type ShardPartial struct {
+	p    *Publisher
+	sr   *core.SignedRelation
+	role accessctl.Role
+	eff  Query
+
+	shard       int
+	lo, hi      uint64
+	first, last bool
+
+	chunkRows int
+	a, b, pos int
+	idx       *core.AggIndex
+	agg       *sig.Aggregator
+
+	reuse    bool
+	chunkBuf Chunk
+	entryBuf []VOEntry
+
+	err error
+}
+
+// Head returns the shard index and, for the first covering shard, the
+// left boundary proof of the effective range.
+func (sp *ShardPartial) Head() (ShardHead, error) {
+	head := ShardHead{Shard: sp.shard}
+	if sp.first {
+		left, err := sp.sr.ProveBoundary(sp.p.h, sp.a-1, core.Up, sp.lo)
+		if err != nil {
+			return head, fmt.Errorf("engine: left boundary: %w", err)
+		}
+		head.Left = &left
+	}
+	return head, nil
+}
+
+// Next returns the next entries chunk, io.EOF when the covered interval
+// is exhausted.
+func (sp *ShardPartial) Next() (*Chunk, error) {
+	if sp.err != nil {
+		return nil, sp.err
+	}
+	if sp.pos >= sp.b {
+		return nil, io.EOF
+	}
+	n := sp.b - sp.pos
+	if n > sp.chunkRows {
+		n = sp.chunkRows
+	}
+	var c *Chunk
+	if sp.reuse {
+		sp.chunkBuf = Chunk{Type: ChunkEntries, Shard: sp.shard, Entries: sp.entryBuf[:0]}
+		c = &sp.chunkBuf
+	} else {
+		c = &Chunk{Type: ChunkEntries, Shard: sp.shard, Entries: make([]VOEntry, 0, n)}
+	}
+	for i := sp.pos; i < sp.pos+n; i++ {
+		rec := sp.sr.Recs[i]
+		entry, err := sp.p.buildEntry(sp.sr, sp.role, sp.eff, rec, i, nil)
+		if err != nil {
+			sp.err = err
+			return nil, err
+		}
+		c.Entries = append(c.Entries, entry)
+		switch {
+		case !sp.p.Aggregate:
+			// Aliasing rec.Sig is safe: epoch slices are immutable.
+			c.Sigs = append(c.Sigs, sig.Signature(rec.Sig))
+		case sp.idx != nil:
+			// Indexed: the partial is one tree lookup in Foot.
+		default:
+			if err := sp.agg.Add(sig.Signature(rec.Sig)); err != nil {
+				sp.err = fmt.Errorf("engine: aggregation: %w", err)
+				return nil, sp.err
+			}
+		}
+	}
+	if sp.reuse {
+		sp.entryBuf = c.Entries
+	}
+	sp.pos += n
+	return c, nil
+}
+
+// Foot summarizes the drained partial. It must not be called before Next
+// has returned io.EOF — the partial condensed signature is only complete
+// then.
+func (sp *ShardPartial) Foot() (ShardFeedFoot, error) {
+	if sp.err != nil {
+		return ShardFeedFoot{}, sp.err
+	}
+	if sp.pos < sp.b {
+		return ShardFeedFoot{}, fmt.Errorf("engine: shard partial foot before drain")
+	}
+	foot := ShardFeedFoot{Entries: uint64(sp.b - sp.a)}
+	switch {
+	case sp.idx != nil && sp.b > sp.a:
+		partial, err := sp.idx.RangeAggregate(sp.a, sp.b)
+		if err != nil {
+			return ShardFeedFoot{}, fmt.Errorf("engine: aggregation: %w", err)
+		}
+		foot.Partial = partial
+	case sp.agg != nil && sp.agg.Count() > 0:
+		partial, err := sp.agg.Sum()
+		if err != nil {
+			return ShardFeedFoot{}, fmt.Errorf("engine: aggregation: %w", err)
+		}
+		foot.Partial = partial
+	}
+	if sp.last {
+		right, err := sp.sr.ProveBoundary(sp.p.h, sp.b, core.Down, sp.hi)
+		if err != nil {
+			return ShardFeedFoot{}, fmt.Errorf("engine: right boundary: %w", err)
+		}
+		foot.Right = &right
+	}
+	if sp.first && sp.a == sp.b {
+		// Locally empty first shard: ship the predecessor material the
+		// merger needs if the range turns out globally empty (it can only
+		// be globally empty if every covering shard is — interior shards
+		// never are).
+		predIdx := sp.a - 1
+		foot.PredSig = sig.Signature(sp.sr.Recs[predIdx].Sig)
+		switch {
+		case predIdx > 0:
+			foot.PredPrevG = sp.sr.Recs[predIdx-1].G.Clone()
+		case sp.sr.Recs[0].Kind == core.KindDelimLeft:
+			// pred is the global left delimiter: the verifier substitutes
+			// the virtual end digest, no PredPrevG needed.
+		default:
+			foot.NeedPrevG = true
+		}
+	}
+	return foot, nil
+}
+
+// Close implements ShardFeed; a partial holds no resources beyond its
+// pinned slice, which the garbage collector releases with the value.
+func (sp *ShardPartial) Close() error { return nil }
+
+// MergeShards assembles the canonical fan-out chunk stream from one feed
+// per covering shard, in hand-off order. The first feed must supply the
+// left boundary proof, the last the right one; prevG may be nil when the
+// caller can prove the empty-range corner cannot need it (a cover
+// starting at shard 0). The merged stream is byte-identical to
+// FanoutStream over the same slices and is accepted by the unmodified
+// stream verifiers.
+//
+// The returned stream implements io.Closer; abandoning callers should
+// close it to release the feeds (a fully drained stream needs no Close).
+func MergeShards(pub *sig.PublicKey, aggregate bool, eff Query, feeds []ShardFeed, prevG PrevG) (ResultStream, error) {
+	if len(feeds) == 0 {
+		return nil, fmt.Errorf("engine: merge over zero shard feeds")
+	}
+	st := &mergeStream{
+		eff: eff, feeds: feeds, prevG: prevG,
+		feet: make([]ShardFoot, len(feeds)),
+	}
+	if aggregate {
+		st.agg = pub.NewAggregator()
+	}
+	return st, nil
+}
+
+// mergeStream concatenates shard feeds into the canonical chunk order.
+type mergeStream struct {
+	eff   Query
+	feeds []ShardFeed
+	prevG PrevG
+
+	agg  *sig.Aggregator
+	feet []ShardFoot
+
+	cur       int
+	curHead   ShardHead
+	headDone  bool
+	firstFoot ShardFeedFoot
+	lastFoot  ShardFeedFoot
+	seq       uint64
+
+	stage streamStage
+	err   error
+}
+
+// Next returns the next merged chunk, io.EOF after the footer, or the
+// first feed error (sticky).
+func (st *mergeStream) Next() (*Chunk, error) {
+	if st.err != nil {
+		return nil, st.err
+	}
+	c, err := st.next()
+	if err != nil {
+		st.err = err
+		st.Close()
+		return nil, err
+	}
+	c.Seq = st.seq
+	st.seq++
+	return c, nil
+}
+
+func (st *mergeStream) next() (*Chunk, error) {
+	switch st.stage {
+	case stageHeader:
+		head, err := st.feeds[0].Head()
+		if err != nil {
+			return nil, err
+		}
+		if head.Left == nil {
+			return nil, fmt.Errorf("engine: merge: first feed supplied no left boundary proof")
+		}
+		st.curHead, st.headDone = head, true
+		st.feet[0] = ShardFoot{Shard: head.Shard}
+		st.stage = stageEntries
+		return &Chunk{
+			Type:      ChunkHeader,
+			Shard:     head.Shard,
+			Relation:  st.eff.Relation,
+			Effective: st.eff,
+			KeyLo:     st.eff.KeyLo,
+			KeyHi:     st.eff.KeyHi,
+			Left:      *head.Left,
+		}, nil
+
+	case stageEntries:
+		for st.cur < len(st.feeds) {
+			if !st.headDone {
+				head, err := st.feeds[st.cur].Head()
+				if err != nil {
+					return nil, err
+				}
+				st.curHead, st.headDone = head, true
+				st.feet[st.cur] = ShardFoot{Shard: head.Shard}
+			}
+			c, err := st.feeds[st.cur].Next()
+			if err == io.EOF {
+				foot, err := st.feeds[st.cur].Foot()
+				if err != nil {
+					return nil, err
+				}
+				if st.agg != nil && foot.Partial != nil {
+					if err := st.agg.Add(foot.Partial); err != nil {
+						return nil, fmt.Errorf("engine: combining shard aggregate: %w", err)
+					}
+				}
+				if st.cur == 0 {
+					st.firstFoot = foot
+				}
+				if st.cur == len(st.feeds)-1 {
+					st.lastFoot = foot
+				}
+				st.cur++
+				st.headDone = false
+				continue
+			}
+			if err != nil {
+				return nil, err
+			}
+			if c.Type != ChunkEntries {
+				return nil, fmt.Errorf("engine: merge: feed produced %v chunk", c.Type)
+			}
+			if c.Shard != st.curHead.Shard {
+				return nil, fmt.Errorf("engine: merge: feed for shard %d produced chunk tagged %d", st.curHead.Shard, c.Shard)
+			}
+			st.feet[st.cur].Entries += uint64(len(c.Entries))
+			return c, nil
+		}
+		st.stage = stageFooter
+		return st.next()
+
+	case stageFooter:
+		return st.footer()
+
+	default:
+		return nil, io.EOF
+	}
+}
+
+// footer assembles the merged footer from the first and last feeds'
+// summaries — structurally identical to fanoutStream.footer.
+func (st *mergeStream) footer() (*Chunk, error) {
+	if st.lastFoot.Right == nil {
+		return nil, fmt.Errorf("engine: merge: last feed supplied no right boundary proof")
+	}
+	c := &Chunk{Type: ChunkFooter, Shard: st.feet[len(st.feet)-1].Shard, Right: *st.lastFoot.Right}
+	var total uint64
+	for _, f := range st.feet {
+		total += f.Entries
+	}
+	if total == 0 {
+		if st.firstFoot.PredSig == nil {
+			return nil, fmt.Errorf("engine: merge: empty range without predecessor material")
+		}
+		if st.agg != nil {
+			if err := st.agg.Add(st.firstFoot.PredSig); err != nil {
+				return nil, fmt.Errorf("engine: aggregation: %w", err)
+			}
+		} else {
+			c.Sigs = []sig.Signature{st.firstFoot.PredSig}
+		}
+		switch {
+		case st.firstFoot.NeedPrevG:
+			if st.prevG == nil {
+				return nil, fmt.Errorf("engine: merge needs the preceding shard for an empty range")
+			}
+			g, err := st.prevG()
+			if err != nil {
+				return nil, fmt.Errorf("engine: merge: resolving predecessor digest: %w", err)
+			}
+			c.PredPrevG = g
+		default:
+			c.PredPrevG = st.firstFoot.PredPrevG
+		}
+	}
+	if st.agg != nil {
+		agg, err := st.agg.Sum()
+		if err != nil {
+			return nil, fmt.Errorf("engine: aggregation: %w", err)
+		}
+		c.AggSig = agg
+	}
+	c.ShardFeet = append([]ShardFoot(nil), st.feet...)
+	st.stage = stageDone
+	return c, nil
+}
+
+// Close releases every feed. Safe to call at any time, more than once.
+func (st *mergeStream) Close() error {
+	for _, f := range st.feeds {
+		f.Close()
+	}
+	return nil
+}

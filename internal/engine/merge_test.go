@@ -1,0 +1,165 @@
+package engine_test
+
+import (
+	"bytes"
+	"encoding/gob"
+	"io"
+	"testing"
+
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+)
+
+// partials builds one ShardPartial feed per covering shard of q — the
+// node half of a distributed fan-out, run in-process.
+func (e *fanoutEnv) partials(t *testing.T, q engine.Query, opts engine.StreamOpts) (engine.Query, []engine.ShardFeed, engine.PrevG) {
+	t.Helper()
+	eff, err := engine.EffectiveQuery(e.sr.Params, e.sr.Schema, e.role, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub := e.set.Spec.Decompose(eff.KeyLo, eff.KeyHi)
+	feeds := make([]engine.ShardFeed, len(sub))
+	for i, s := range sub {
+		sp, err := e.pub.ShardPartial(e.set.Slices[s.Shard], "all", q, s.Shard,
+			s.Lo, s.Hi, i == 0, i == len(sub)-1, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		feeds[i] = sp
+	}
+	var prevG engine.PrevG
+	if first := sub[0].Shard; first > 0 {
+		prevG = func() (hashx.Digest, error) {
+			prev := e.set.Slices[first-1]
+			return prev.Recs[len(prev.Recs)-3].G, nil
+		}
+	}
+	return eff, feeds, prevG
+}
+
+// gobChunks encodes a drained stream chunk by chunk — the same encoding
+// the wire framing uses, so equality here is frame-level byte identity.
+func gobChunks(t *testing.T, st engine.ResultStream) [][]byte {
+	t.Helper()
+	var out [][]byte
+	for {
+		c, err := st.Next()
+		if err == io.EOF {
+			return out
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(c); err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, buf.Bytes())
+	}
+}
+
+// TestMergeShardsByteIdentical pins the distributed fan-out invariant at
+// the engine seam: MergeShards over per-shard partials must emit a chunk
+// sequence byte-identical (gob frame bytes) to FanoutStream over the
+// same pinned slices, for full-range, sub-range, single-shard, and
+// empty-range covers.
+func TestMergeShardsByteIdentical(t *testing.T) {
+	e := newFanoutEnv(t, 120, 4)
+	queries := []engine.Query{
+		{Relation: e.sr.Schema.Name}, // full range, all shards
+		{Relation: e.sr.Schema.Name, KeyLo: e.sr.Recs[10].Key(), KeyHi: e.sr.Recs[110].Key()},
+		{Relation: e.sr.Schema.Name, KeyLo: e.sr.Recs[40].Key(), KeyHi: e.sr.Recs[40].Key()},
+	}
+	for i, q := range queries {
+		opts := engine.StreamOpts{ChunkRows: 8, FanoutWorkers: 1}
+		want := gobChunks(t, e.fanout(t, q, opts))
+		eff, feeds, prevG := e.partials(t, q, opts)
+		st, err := engine.MergeShards(streamSignKey(t).Public(), true, eff, feeds, prevG)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := gobChunks(t, st)
+		if len(want) != len(got) {
+			t.Fatalf("query %d: fan-out emitted %d chunks, merge %d", i, len(want), len(got))
+		}
+		for j := range want {
+			if !bytes.Equal(want[j], got[j]) {
+				t.Fatalf("query %d: chunk %d differs between fan-out and merge", i, j)
+			}
+		}
+	}
+}
+
+// TestMergeShardsEmptyRange drives the globally empty corner, including
+// the hand-off position where the predecessor digest must be resolved
+// from the preceding shard via the PrevG callback.
+func TestMergeShardsEmptyRange(t *testing.T) {
+	e := newFanoutEnv(t, 60, 3)
+
+	// An empty range that starts exactly at shard 1's span start: the
+	// predecessor is slice 1's left context, so PredPrevG comes from
+	// shard 0 through PrevG.
+	spanLo, _ := e.set.Spec.Span(1)
+	firstOwned := e.set.Slices[1].Recs[1].Key()
+	if firstOwned <= spanLo {
+		t.Skip("no key gap at the shard 1 hand-off for this seed")
+	}
+	q := engine.Query{Relation: e.sr.Schema.Name, KeyLo: spanLo, KeyHi: firstOwned - 1}
+
+	opts := engine.StreamOpts{ChunkRows: 8, FanoutWorkers: 1}
+	want := gobChunks(t, e.fanout(t, q, opts))
+	eff, feeds, prevG := e.partials(t, q, opts)
+	st, err := engine.MergeShards(streamSignKey(t).Public(), true, eff, feeds, prevG)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := gobChunks(t, st)
+	if len(want) != len(got) {
+		t.Fatalf("fan-out emitted %d chunks, merge %d", len(want), len(got))
+	}
+	for j := range want {
+		if !bytes.Equal(want[j], got[j]) {
+			t.Fatalf("chunk %d differs between fan-out and merge", j)
+		}
+	}
+
+	// The merged empty result must verify end to end.
+	eff2, feeds2, prevG2 := e.partials(t, q, opts)
+	st2, err := engine.MergeShards(streamSignKey(t).Public(), true, eff2, feeds2, prevG2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := engine.Collect(st2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := e.v.VerifyResult(q, e.role, res)
+	if err != nil {
+		t.Fatalf("merged empty result rejected: %v", err)
+	}
+	if len(rows) != 0 {
+		t.Fatalf("empty range verified %d rows", len(rows))
+	}
+}
+
+// TestShardPartialRejectsMisuse: sub-ranges outside the effective range
+// and DISTINCT queries must be refused at construction.
+func TestShardPartialRejectsMisuse(t *testing.T) {
+	e := newFanoutEnv(t, 30, 2)
+	q := engine.Query{Relation: e.sr.Schema.Name}
+	eff, err := engine.EffectiveQuery(e.sr.Params, e.sr.Schema, e.role, q)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.pub.ShardPartial(e.set.Slices[0], "all", q, 0, eff.KeyLo, eff.KeyHi+1, true, true, engine.StreamOpts{}); err == nil {
+		t.Fatal("sub-range beyond the effective range accepted")
+	}
+	dq := q
+	dq.Distinct = true
+	if _, err := e.pub.ShardPartial(e.set.Slices[0], "all", dq, 0, eff.KeyLo, eff.KeyHi, true, true, engine.StreamOpts{}); err == nil {
+		t.Fatal("DISTINCT shard partial accepted")
+	}
+}
+
+var _ engine.ShardFeed = (*engine.ShardPartial)(nil)

@@ -1,0 +1,54 @@
+// Package partition range-partitions a signed relation into K shards
+// while preserving the paper's single signature chain (Pang et al.,
+// SIGMOD 2005, Section 3.1) — the structural move that takes the
+// publisher from "one chain per relation" to a forest of contiguous
+// chain segments that still concatenate into one verifiable whole.
+//
+// # The one invariant this package owns
+//
+// There is ONE global signature chain. Formula (1) signs each record
+// against its two neighbours, so the chain needs no global anchor: any
+// contiguous run of records carries its own proof of contiguity. A shard
+// is therefore a contiguous slice of the globally sorted record
+// sequence, bracketed by one *context record* on each side — a verbatim
+// copy of the adjacent record owned by the neighbouring shard (or the
+// Section 3.1 delimiter at the two ends of the domain). Adjacent shards
+// overlap in exactly the two hand-off records, which is what lets
+//
+//   - a shard answer any query whose range falls inside the span it
+//     owns, using its context records for the Figure 5 boundary proofs,
+//   - a cross-shard answer verify as a plain concatenation of per-shard
+//     entry runs: the last entry of shard i chains to the first entry of
+//     shard i+1 because sig(r) binds g of both, exactly as it would in
+//     the unpartitioned relation, and
+//   - a shard slice move between serving processes (internal/cluster)
+//     without any re-signing: the slice is self-describing, and a
+//     receiver can check every owned record's signature locally.
+//
+// Partitioning is consequently free of cryptography: Split never touches
+// a signature, and the per-record digest material is byte-identical to
+// the unpartitioned build. The owner distributes the Spec (the cut keys,
+// stamped with a Version so control planes can order layouts) over the
+// same authenticated channel as the public key; users need it only for
+// the fail-fast shard bookkeeping of verify.ShardStreamVerifier, never
+// for soundness, which still rests entirely on the chain.
+//
+// # Mirrored boundaries
+//
+// The context records are mirrors: shard i's right context must stay a
+// byte-identical copy of shard i+1's first owned record (HandoffOK is
+// the digest compare that checks it). Everything that moves shard
+// slices around — the in-process partitioned server (internal/server),
+// the coordinator/node tier (internal/cluster), and the delta router —
+// maintains exactly this mirror property and nothing more; readers that
+// observe a mismatched hand-off know a boundary change is mid-cutover
+// and re-pin. Seam material travels as Edges (the first/last three
+// records of a slice), which is enough to run both the digest compare
+// and the two hand-off signature checks (CheckSeam) without shipping
+// whole slices.
+//
+// Epoch pinning — the third system-wide invariant — lives one layer up:
+// internal/server pins one immutable slice snapshot per covering shard
+// for the lifetime of a stream (see that package and internal/delta),
+// and internal/cluster extends the same pin across processes.
+package partition

@@ -1,31 +1,3 @@
-// Package partition range-partitions a signed relation into K shards
-// while preserving the paper's single signature chain (Pang et al.,
-// SIGMOD 2005, Section 3.1) — the structural move that takes the
-// publisher from "one chain per relation" to a forest of contiguous
-// chain segments that still concatenate into one verifiable whole.
-//
-// The key observation is that formula (1) signs each record against its
-// two neighbours, so the chain needs no global anchor: any contiguous run
-// of records carries its own proof of contiguity. A shard is therefore a
-// contiguous slice of the globally sorted record sequence, bracketed by
-// one *context record* on each side — a verbatim copy of the adjacent
-// record owned by the neighbouring shard (or the Section 3.1 delimiter at
-// the two ends of the domain). Adjacent shards overlap in exactly the two
-// hand-off records, which is what lets
-//
-//   - a shard answer any query whose range falls inside the span it owns,
-//     using its context records for the Figure 5 boundary proofs, and
-//   - a cross-shard answer verify as a plain concatenation of per-shard
-//     entry runs: the last entry of shard i chains to the first entry of
-//     shard i+1 because sig(r) binds g of both, exactly as it would in the
-//     unpartitioned relation.
-//
-// Partitioning is consequently free of cryptography: Split never touches
-// a signature, and the per-record digest material is byte-identical to
-// the unpartitioned build. The owner distributes the Spec (the cut keys)
-// over the same authenticated channel as the public key; users need it
-// only for the fail-fast shard bookkeeping of verify.ShardStreamVerifier,
-// never for soundness, which still rests entirely on the chain.
 package partition
 
 import (
@@ -64,6 +36,27 @@ var (
 type Spec struct {
 	Relation string
 	Cuts     []uint64
+	// Version orders successive layouts of the same relation: an owner
+	// republishing with different cuts bumps it, and the serving control
+	// plane (internal/cluster) refuses to mix slices from two versions.
+	// It plays no part in verification — the chain alone proves
+	// completeness whatever the layout — so 0 (the only version a
+	// publication ever has unless the owner re-cuts) is a valid version.
+	Version uint64
+}
+
+// Same reports whether two specs describe the same layout of the same
+// relation at the same version.
+func (s Spec) Same(o Spec) bool {
+	if s.Relation != o.Relation || s.Version != o.Version || len(s.Cuts) != len(o.Cuts) {
+		return false
+	}
+	for i, c := range s.Cuts {
+		if o.Cuts[i] != c {
+			return false
+		}
+	}
+	return true
 }
 
 // K returns the shard count.
@@ -253,6 +246,81 @@ func HandoffOK(left, right *core.SignedRelation) bool {
 	}
 	return SameRecord(left.Recs[ln-2], right.Recs[0]) &&
 		SameRecord(left.Recs[ln-1], right.Recs[1])
+}
+
+// Edges is the seam material of one shard slice: its first three and
+// last three entries (which overlap when the slice owns a single
+// record). Six records are exactly enough to run, without the rest of
+// the slice, both halves of a seam check — the hand-off digest compare
+// (HandoffOK over Tail/Head pairs) and the two hand-off signature
+// verifications (CheckSeam), each of which needs one signed record plus
+// the g digests of its two in-chain neighbours. The coordinator/node
+// tier ships Edges where the in-process server would pass whole slices.
+type Edges struct {
+	// Head is Recs[0..2]: the left context record and the first two
+	// entries after it.
+	Head [3]core.SignedRecord
+	// Tail is Recs[len-3..len-1]: the last two entries before the right
+	// context record, and the context record itself.
+	Tail [3]core.SignedRecord
+}
+
+// EdgesOf extracts a slice's seam material. The records alias the slice
+// (epoch snapshots are immutable); serialization copies them.
+func EdgesOf(sr *core.SignedRelation) Edges {
+	var e Edges
+	n := len(sr.Recs)
+	for i := 0; i < 3 && i < n; i++ {
+		e.Head[i] = sr.Recs[i]
+		e.Tail[2-i] = sr.Recs[n-1-i]
+	}
+	// A slice shorter than 3 entries is malformed; the zero records left
+	// behind fail CheckSeam's signature verification rather than pass.
+	return e
+}
+
+// HandoffOK is the cross-slice digest compare of HandoffOK run on edge
+// material alone: the left slice's last owned record must be the right
+// slice's left context, and vice versa.
+func (e Edges) HandoffOK(right Edges) bool {
+	return SameRecord(e.Tail[1], right.Head[0]) && SameRecord(e.Tail[2], right.Head[1])
+}
+
+// CheckSeam verifies one seam from edge material: the hand-off digest
+// compare plus both hand-off signatures — the left shard's last owned
+// record and the right shard's first owned record, each against its
+// in-chain neighbours' g digests. This is everything a delta or a shard
+// migration can break at a seam; interior records are validated by the
+// shard that owns them.
+func CheckSeam(h *hashx.Hasher, pub *sig.PublicKey, p core.Params, left, right Edges) error {
+	if !left.HandoffOK(right) {
+		return fmt.Errorf("%w: hand-off records disagree", ErrSetInvalid)
+	}
+	digest := core.SigDigestFor(h, p, left.Tail[0].G, left.Tail[1].G, left.Tail[2].G)
+	if !pub.Verify(digest, left.Tail[1].Sig) {
+		return fmt.Errorf("%w: left hand-off signature invalid", ErrSetInvalid)
+	}
+	digest = core.SigDigestFor(h, p, right.Head[0].G, right.Head[1].G, right.Head[2].G)
+	if !pub.Verify(digest, right.Head[1].Sig) {
+		return fmt.Errorf("%w: right hand-off signature invalid", ErrSetInvalid)
+	}
+	return nil
+}
+
+// SliceDigest folds a slice's entire record sequence — identity, digest
+// material, and signature bytes of every entry — into one digest. Two
+// slices with equal digests are the same publication state; the digest
+// is how a shard transfer proves integrity end to end and how a control
+// plane detects divergence between two copies of a shard without
+// shipping either. It is a comparison primitive, not a security
+// boundary: a forged slice still dies on signature validation.
+func SliceDigest(h *hashx.Hasher, sr *core.SignedRelation) hashx.Digest {
+	d := h.Hash([]byte("partition/slice-digest"))
+	for i := range sr.Recs {
+		rec := &sr.Recs[i]
+		d = h.Hash(d, []byte{byte(rec.Kind)}, hashx.U64Pair(rec.Key(), rec.Tuple.RowID), rec.G, rec.Sig)
+	}
+	return d
 }
 
 // Stitch reassembles the global record sequence from the shard slices,

@@ -84,6 +84,9 @@ func (s *Server) Handler() http.Handler {
 		json.NewEncoder(w).Encode(s.Stats())
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	// Node-mode endpoints (shard hosting behind a cluster coordinator);
+	// inert until a coordinator installs a slice.
+	s.nodeHandlers(mux)
 	return mux
 }
 

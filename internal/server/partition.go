@@ -110,6 +110,9 @@ func (s *Server) AddPartition(set *partition.Set, validate bool) error {
 	if _, dup := s.parts[name]; dup {
 		return fmt.Errorf("%w: %q", ErrAlreadyHosted, name)
 	}
+	if s.nodeFor(name) != nil {
+		return fmt.Errorf("%w: %q (node mode)", ErrAlreadyHosted, name)
+	}
 	if _, _, hosted := s.store.View(name); hosted {
 		// Already hosted as an unpartitioned relation; registering the
 		// partition would silently shadow it in the query router.
@@ -474,21 +477,10 @@ func (s *Server) applyPartitionedDelta(pt *partTable, d delta.Delta) (uint64, er
 
 // checkSeam verifies the two hand-off signatures across one seam: the
 // left shard's last owned record and the right shard's first owned
-// record, each against its in-slice neighbours.
+// record, each against its in-slice neighbours. The node tier runs the
+// same check over shipped edge material (partition.CheckSeam).
 func (s *Server) checkSeam(pt *partTable, left, right *core.SignedRelation) error {
-	if !partition.HandoffOK(left, right) {
-		return fmt.Errorf("hand-off records disagree")
-	}
-	ln := len(left.Recs)
-	digest := core.SigDigestFor(s.h, pt.params, left.Recs[ln-3].G, left.Recs[ln-2].G, left.Recs[ln-1].G)
-	if !s.pub.Verify(digest, left.Recs[ln-2].Sig) {
-		return fmt.Errorf("left hand-off signature invalid")
-	}
-	digest = core.SigDigestFor(s.h, pt.params, right.Recs[0].G, right.Recs[1].G, right.Recs[2].G)
-	if !s.pub.Verify(digest, right.Recs[1].Sig) {
-		return fmt.Errorf("right hand-off signature invalid")
-	}
-	return nil
+	return partition.CheckSeam(s.h, s.pub, pt.params, partition.EdgesOf(left), partition.EdgesOf(right))
 }
 
 // PartitionStats is the per-partition slice of a Stats snapshot.

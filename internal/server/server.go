@@ -73,8 +73,16 @@ type Server struct {
 	partMu sync.RWMutex
 	parts  map[string]*partTable
 
+	// nodeRels registers the shard slices hosted in node mode (node.go),
+	// installed and removed one at a time by a cluster coordinator.
+	nodeMu   sync.RWMutex
+	nodeRels map[string]*nodeTable
+	// stagedTokens mints tokens for two-phase distributed deltas.
+	stagedTokens atomic.Uint64
+
 	queries, batches, deltasApplied, errors atomic.Uint64
 	streams, streamChunks, streamBytes      atomic.Uint64
+	shardStreams                            atomic.Uint64
 }
 
 // New creates a server. The executor publisher carries no relations of
@@ -91,13 +99,14 @@ func New(cfg Config) *Server {
 	exec := engine.NewPublisher(cfg.Hasher, cfg.Pub, cfg.Policy)
 	exec.Aggregate = !cfg.Individual
 	s := &Server{
-		h:      cfg.Hasher,
-		pub:    cfg.Pub,
-		policy: cfg.Policy,
-		exec:   exec,
-		store:  NewStore(cfg.Hasher, cfg.Pub),
-		cache:  newVOCache(size),
-		parts:  map[string]*partTable{},
+		h:        cfg.Hasher,
+		pub:      cfg.Pub,
+		policy:   cfg.Policy,
+		exec:     exec,
+		store:    NewStore(cfg.Hasher, cfg.Pub),
+		cache:    newVOCache(size),
+		parts:    map[string]*partTable{},
+		nodeRels: map[string]*nodeTable{},
 	}
 	register(s)
 	return s
@@ -114,7 +123,7 @@ func (s *Server) Close() { unregister(s) }
 func (s *Server) AddRelation(sr *core.SignedRelation, validate bool) error {
 	s.partMu.Lock()
 	defer s.partMu.Unlock()
-	if s.parts[sr.Schema.Name] != nil {
+	if s.parts[sr.Schema.Name] != nil || s.nodeFor(sr.Schema.Name) != nil {
 		return fmt.Errorf("%w: %q", ErrAlreadyHosted, sr.Schema.Name)
 	}
 	return s.store.AddRelation(sr, validate)
@@ -281,7 +290,13 @@ type Stats struct {
 	// relation: sub-queries and deltas routed per shard, per-shard
 	// epochs, fan-out and hand-off-retry totals.
 	Partitions map[string]PartitionStats `json:",omitempty"`
-	Cache      CacheStats
+	// Hosted carries the node-mode inventory: one line per shard slice
+	// this process hosts for a cluster coordinator, with the slice's
+	// epoch, record count, committed distributed deltas, and served
+	// sub-streams. ShardStreams totals the fan-out sub-streams served.
+	Hosted       map[string][]NodeShardStat `json:",omitempty"`
+	ShardStreams uint64                     `json:",omitempty"`
+	Cache        CacheStats
 }
 
 // Stats snapshots the counters.
@@ -315,6 +330,8 @@ func (s *Server) Stats() Stats {
 		Epoch:         s.store.Epoch(),
 		Relations:     rels,
 		Partitions:    s.partitionStats(),
+		Hosted:        s.nodeStats(),
+		ShardStreams:  s.shardStreams.Load(),
 		Cache:         s.cache.Stats(),
 	}
 }

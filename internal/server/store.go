@@ -156,6 +156,30 @@ func (s *Store) publish(sh *shard, name string, sr *core.SignedRelation) uint64 
 	return epoch
 }
 
+// Remove unpublishes a store entry, reporting whether it existed. The
+// removed snapshot stays valid for readers that already pinned it —
+// removal swaps the shard's map, it never mutates a published epoch —
+// which is what lets a migration drain a shard from a node while
+// in-flight streams finish on their pinned slices.
+func (s *Store) Remove(name string) bool {
+	sh := s.shardFor(name)
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	old := sh.snap.Load()
+	if _, ok := old.rels[name]; !ok {
+		return false
+	}
+	rels := make(map[string]relEntry, len(old.rels)-1)
+	for k, v := range old.rels {
+		if k != name {
+			rels[k] = v
+		}
+	}
+	s.epochs.Add(1)
+	sh.snap.Store(&snapshot{rels: rels})
+	return true
+}
+
 // Epoch returns the global cutover counter.
 func (s *Store) Epoch() uint64 { return s.epochs.Load() }
 

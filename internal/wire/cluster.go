@@ -1,0 +1,649 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/gob"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"vcqr/internal/core"
+	"vcqr/internal/delta"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/partition"
+	"vcqr/internal/relation"
+	"vcqr/internal/sig"
+)
+
+// This file is the coordinator/node half of the wire protocol
+// (internal/cluster): per-shard sub-streams, shard slice transfer, edge
+// and digest probes, and the two-phase distributed delta. Everything
+// rides the same length-prefixed gob framing as the user-facing chunk
+// streams, and — as everywhere in this system — nothing in the transport
+// is trusted: a node that lies produces a merged stream the user's
+// verifier rejects, a tampered transfer dies on the receiver's digest
+// compare and signature validation.
+
+// Cluster transport errors.
+var (
+	// ErrTransferDigest reports a shard transfer whose streamed records
+	// do not fold to the digest its foot claims — a tampered or corrupted
+	// transfer, rejected before any signature work.
+	ErrTransferDigest = errors.New("wire: shard transfer digest mismatch")
+	// ErrTransferTruncated reports a transfer stream that ended before
+	// its foot frame.
+	ErrTransferTruncated = errors.New("wire: shard transfer truncated")
+)
+
+// NotHostingMsg is the error-string marker a node uses when refusing a
+// shard request for a shard it does not host. The coordinator detects it
+// (IsNotHosting) and re-reads its routing table: the usual cause is a
+// request raced with a migration's routing swing.
+const NotHostingMsg = "not hosting shard"
+
+// IsNotHosting reports whether a remote error is a node's stale-routing
+// refusal.
+func IsNotHosting(err error) bool {
+	return err != nil && strings.Contains(err.Error(), NotHostingMsg)
+}
+
+// --- generic frame codec ---------------------------------------------
+
+// writeFrame writes one length-prefixed gob frame of any payload type,
+// sharing the chunk codec's pooled buffers and size cap.
+func writeFrame(w io.Writer, v any) error {
+	buf := frameBufPool.Get().(*bytes.Buffer)
+	defer putFrameBuf(buf)
+	buf.Reset()
+	if err := gob.NewEncoder(buf).Encode(v); err != nil {
+		return fmt.Errorf("wire: encode frame: %w", err)
+	}
+	if buf.Len() > MaxChunkFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, buf.Len())
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(buf.Len()))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	if _, err := w.Write(buf.Bytes()); err != nil {
+		return fmt.Errorf("wire: write frame: %w", err)
+	}
+	return nil
+}
+
+// readFrame reads one length-prefixed gob frame into v. It returns
+// io.EOF exactly at a frame boundary and ErrFrameTruncated when the
+// stream dies mid-frame.
+func readFrame(r io.Reader, v any) error {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return io.EOF
+		}
+		return fmt.Errorf("%w: length prefix: %v", ErrFrameTruncated, err)
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxChunkFrame {
+		return fmt.Errorf("%w: %d bytes", ErrFrameTooBig, n)
+	}
+	body := frameBufPool.Get().(*bytes.Buffer)
+	defer putFrameBuf(body)
+	body.Reset()
+	if _, err := io.CopyN(body, r, int64(n)); err != nil {
+		return fmt.Errorf("%w: body: %v", ErrFrameTruncated, err)
+	}
+	if err := gob.NewDecoder(body).Decode(v); err != nil {
+		return fmt.Errorf("wire: decode frame: %w", err)
+	}
+	return nil
+}
+
+// --- shard sub-streams ------------------------------------------------
+
+// ShardStreamRequest asks a node for one shard's partial of a fan-out:
+// the entries covering [Lo, Hi] on the named shard's pinned slice, plus
+// the boundary proofs its cover position (First/Last) obliges. The node
+// recomputes the effective rewrite from Role and Query exactly as the
+// coordinator did, so the two cannot disagree without failing fast.
+type ShardStreamRequest struct {
+	Role  string
+	Query engine.Query
+	Shard int
+	// Lo, Hi is the sub-range of the effective query this shard covers.
+	Lo, Hi uint64
+	// First and Last mark the cover's edge positions, which must supply
+	// the left/right boundary proofs of the whole effective range.
+	First, Last bool
+	ChunkRows   int
+	// RoutingEpoch is the coordinator's routing-table version when it
+	// issued the request; echoed in errors for operator diagnostics.
+	RoutingEpoch uint64
+}
+
+// NodeHello is the first frame of a shard sub-stream: the pinned slice's
+// epoch and seam material (the digest-compare input for cross-node
+// hand-off checks), plus the left boundary proof when First.
+type NodeHello struct {
+	Shard int
+	Epoch uint64
+	Edges partition.Edges
+	Left  *core.BoundaryProof
+}
+
+// NodeFoot is the last frame of a shard sub-stream: the shard's entry
+// count and partial condensed signature, the right boundary proof when
+// Last, and the empty-range predecessor material when First and empty
+// (see engine.ShardFeedFoot, which this mirrors on the wire).
+type NodeFoot struct {
+	Entries   uint64
+	Partial   sig.Signature
+	Right     *core.BoundaryProof
+	PredSig   sig.Signature
+	PredPrevG hashx.Digest
+	NeedPrevG bool
+}
+
+// NodeFrame is one frame of a shard sub-stream: exactly one field set.
+type NodeFrame struct {
+	Hello *NodeHello
+	Chunk *engine.Chunk
+	Foot  *NodeFoot
+	Err   string
+}
+
+// WriteNodeFrame writes one sub-stream frame; ReadNodeFrame is its
+// counterpart (the client's NodeStream wraps it).
+func WriteNodeFrame(w io.Writer, f *NodeFrame) error { return writeFrame(w, f) }
+
+// ReadNodeFrame reads one sub-stream frame.
+func ReadNodeFrame(r io.Reader) (*NodeFrame, error) {
+	var f NodeFrame
+	if err := readFrame(r, &f); err != nil {
+		return nil, err
+	}
+	return &f, nil
+}
+
+// NodeStream is a client-side shard sub-stream in consumption order:
+// Hello (already read), Next until io.EOF, Foot, Close.
+type NodeStream struct {
+	body  io.ReadCloser
+	hello NodeHello
+	foot  *NodeFoot
+	err   error
+}
+
+// ShardStream opens one shard sub-stream against a node. The hello frame
+// is consumed before returning, so a stale-routing refusal surfaces here
+// (IsNotHosting) rather than mid-merge.
+func (c *Client) ShardStream(req ShardStreamRequest) (*NodeStream, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return nil, fmt.Errorf("wire: encode shard stream request: %w", err)
+	}
+	resp, err := httpc.Post(c.BaseURL+"/shard/stream", "application/octet-stream", &body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: post shard stream: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		return nil, fmt.Errorf("wire: node returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var f NodeFrame
+	if err := readFrame(resp.Body, &f); err != nil {
+		resp.Body.Close()
+		return nil, err
+	}
+	switch {
+	case f.Err != "":
+		resp.Body.Close()
+		return nil, fmt.Errorf("wire: node error: %s", f.Err)
+	case f.Hello == nil:
+		resp.Body.Close()
+		return nil, fmt.Errorf("wire: shard sub-stream did not open with a hello frame")
+	}
+	return &NodeStream{body: resp.Body, hello: *f.Hello}, nil
+}
+
+// Hello returns the sub-stream's opening frame.
+func (ns *NodeStream) Hello() NodeHello { return ns.hello }
+
+// Next returns the next entries chunk, io.EOF once the foot frame has
+// arrived.
+func (ns *NodeStream) Next() (*engine.Chunk, error) {
+	if ns.err != nil {
+		return nil, ns.err
+	}
+	if ns.foot != nil {
+		return nil, io.EOF
+	}
+	var f NodeFrame
+	if err := readFrame(ns.body, &f); err != nil {
+		if err == io.EOF {
+			err = fmt.Errorf("%w: sub-stream ended before its foot", ErrFrameTruncated)
+		}
+		ns.err = err
+		return nil, err
+	}
+	switch {
+	case f.Err != "":
+		ns.err = fmt.Errorf("wire: node error: %s", f.Err)
+		return nil, ns.err
+	case f.Foot != nil:
+		ns.foot = f.Foot
+		return nil, io.EOF
+	case f.Chunk != nil:
+		return f.Chunk, nil
+	}
+	ns.err = fmt.Errorf("wire: empty sub-stream frame")
+	return nil, ns.err
+}
+
+// Foot returns the sub-stream's summary; valid once Next returned io.EOF.
+func (ns *NodeStream) Foot() (NodeFoot, error) {
+	if ns.err != nil {
+		return NodeFoot{}, ns.err
+	}
+	if ns.foot == nil {
+		return NodeFoot{}, fmt.Errorf("wire: sub-stream foot before drain")
+	}
+	return *ns.foot, nil
+}
+
+// Close releases the underlying response body.
+func (ns *NodeStream) Close() error { return ns.body.Close() }
+
+// --- shard transfer ---------------------------------------------------
+
+// ShardManifest opens a shard transfer: which slice of which layout is
+// being shipped, with everything the receiver needs to reconstruct a
+// servable SignedRelation.
+type ShardManifest struct {
+	Spec   partition.Spec
+	Shard  int
+	Params core.Params
+	Schema relation.Schema
+	// Records is the total entry count (owned + both context records).
+	Records int
+	// Epoch and Deltas are source-side bookkeeping: the store epoch the
+	// slice was read at and the deltas it had absorbed since install.
+	Epoch  uint64
+	Deltas uint64
+}
+
+// TransferFoot closes a shard transfer with the slice digest
+// (partition.SliceDigest) of everything that was streamed.
+type TransferFoot struct {
+	Digest hashx.Digest
+}
+
+// TransferFrame is one frame of a shard transfer: exactly one field set.
+type TransferFrame struct {
+	Manifest *ShardManifest
+	Recs     []core.SignedRecord
+	Foot     *TransferFoot
+	Err      string
+}
+
+// transferBatch bounds records per transfer frame: large enough to
+// amortize framing, small enough to keep frames well under the cap.
+const transferBatch = 256
+
+// WriteShardTransfer streams one shard slice as transfer frames:
+// manifest, record batches, foot with the slice digest.
+func WriteShardTransfer(w io.Writer, h *hashx.Hasher, man ShardManifest, sr *core.SignedRelation) error {
+	man.Records = len(sr.Recs)
+	man.Params = sr.Params
+	man.Schema = sr.Schema
+	if err := writeFrame(w, &TransferFrame{Manifest: &man}); err != nil {
+		return err
+	}
+	for off := 0; off < len(sr.Recs); off += transferBatch {
+		end := off + transferBatch
+		if end > len(sr.Recs) {
+			end = len(sr.Recs)
+		}
+		if err := writeFrame(w, &TransferFrame{Recs: sr.Recs[off:end]}); err != nil {
+			return err
+		}
+	}
+	return writeFrame(w, &TransferFrame{Foot: &TransferFoot{Digest: partition.SliceDigest(h, sr)}})
+}
+
+// ReadShardTransfer consumes a transfer stream and reconstructs the
+// slice, verifying the streamed records against the foot's slice digest
+// — the transfer-integrity half of the trust story; the receiver still
+// owes the signature validation of an untrusted feed.
+func ReadShardTransfer(r io.Reader, h *hashx.Hasher) (ShardManifest, *core.SignedRelation, error) {
+	var f TransferFrame
+	if err := readFrame(r, &f); err != nil {
+		if err == io.EOF {
+			err = ErrTransferTruncated
+		}
+		return ShardManifest{}, nil, err
+	}
+	if f.Err != "" {
+		return ShardManifest{}, nil, fmt.Errorf("wire: transfer error: %s", f.Err)
+	}
+	if f.Manifest == nil {
+		return ShardManifest{}, nil, fmt.Errorf("wire: shard transfer did not open with a manifest")
+	}
+	man := *f.Manifest
+	if man.Records < 3 || man.Records > MaxChunkFrame {
+		return ShardManifest{}, nil, fmt.Errorf("wire: implausible transfer record count %d", man.Records)
+	}
+	sr := &core.SignedRelation{
+		Params: man.Params,
+		Schema: man.Schema,
+		Recs:   make([]core.SignedRecord, 0, man.Records),
+	}
+	for {
+		f = TransferFrame{}
+		if err := readFrame(r, &f); err != nil {
+			if err == io.EOF {
+				err = ErrTransferTruncated
+			}
+			return man, nil, err
+		}
+		switch {
+		case f.Err != "":
+			return man, nil, fmt.Errorf("wire: transfer error: %s", f.Err)
+		case f.Foot != nil:
+			if len(sr.Recs) != man.Records {
+				return man, nil, fmt.Errorf("%w: %d records streamed, manifest says %d", ErrTransferTruncated, len(sr.Recs), man.Records)
+			}
+			if !partition.SliceDigest(h, sr).Equal(f.Foot.Digest) {
+				return man, nil, ErrTransferDigest
+			}
+			return man, sr, nil
+		case len(f.Recs) > 0:
+			if len(sr.Recs)+len(f.Recs) > man.Records {
+				return man, nil, fmt.Errorf("wire: transfer overran its manifest record count")
+			}
+			sr.Recs = append(sr.Recs, f.Recs...)
+		}
+	}
+}
+
+// --- control-plane requests ------------------------------------------
+
+// ShardRef names one shard of one relation.
+type ShardRef struct {
+	Relation string
+	Shard    int
+}
+
+// EdgeResponse returns a hosted slice's seam material and epoch.
+type EdgeResponse struct {
+	Epoch uint64
+	Edges partition.Edges
+	Err   string
+}
+
+// DigestResponse returns a hosted slice's identity summary — the digest
+// compare primitive of migration cutover and crash recovery.
+type DigestResponse struct {
+	Epoch  uint64
+	Digest hashx.Digest
+	// InstallDigest is the slice digest as it was when this copy was
+	// installed on the node. Digest != InstallDigest means the copy has
+	// absorbed writes since — the signal recovery uses to pick the
+	// written-to copy of a double-hosted shard.
+	InstallDigest hashx.Digest
+	Records       int
+	// Deltas counts update batches the slice absorbed since it was
+	// installed on this node.
+	Deltas uint64
+	Err    string
+}
+
+// HostedShard is one hosted slice in a node's inventory.
+type HostedShard struct {
+	Shard         int
+	Epoch         uint64
+	Digest        hashx.Digest
+	InstallDigest hashx.Digest
+	Records       int
+	Deltas        uint64
+}
+
+// HostedInfo is one relation's hosting state on a node.
+type HostedInfo struct {
+	Spec   partition.Spec
+	Shards []HostedShard
+}
+
+// HostedResponse inventories everything a node hosts.
+type HostedResponse struct {
+	Relations map[string]HostedInfo
+	Err       string
+}
+
+// OKResponse acknowledges a control operation.
+type OKResponse struct {
+	Epoch uint64
+	Err   string
+}
+
+// --- two-phase distributed delta -------------------------------------
+
+// NodeDeltaRequest asks a node to *stage* an update batch against the
+// shards it hosts: apply, stitch co-hosted mirrors, validate everything
+// checkable locally — but publish nothing. The coordinator follows with
+// cross-node mirror fixes and seam checks, then commits or aborts.
+type NodeDeltaRequest struct {
+	Delta delta.Delta
+}
+
+// ModifiedShard reports one staged slice's post-delta seam material.
+type ModifiedShard struct {
+	Shard int
+	Edges partition.Edges
+}
+
+// NodeDeltaResponse returns the staging token and the staged edges.
+type NodeDeltaResponse struct {
+	Token    uint64
+	Modified []ModifiedShard
+	Err      string
+}
+
+// MirrorRequest refreshes one staged slice's context record with the
+// adjacent shard's (staged) edge record — the cross-node half of mirror
+// stitching. Token 0 opens a new staging transaction on the node.
+type MirrorRequest struct {
+	Token    uint64
+	Relation string
+	Shard    int
+	// Left selects which context record to refresh: the slice's left
+	// (position 0) or right (last position).
+	Left bool
+	Rec  core.SignedRecord
+}
+
+// MirrorResponse acknowledges a mirror fix with the staging token (fresh
+// when the request opened one) and the fixed slice's staged edges.
+type MirrorResponse struct {
+	Token uint64
+	Edges partition.Edges
+	Err   string
+}
+
+// TxRequest commits or aborts a node's staged delta.
+type TxRequest struct {
+	Relation string
+	Token    uint64
+	Commit   bool
+}
+
+// --- client methods ---------------------------------------------------
+
+// postGob posts a gob request and decodes a gob response.
+func (c *Client) postGob(path string, req, resp any) error {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return fmt.Errorf("wire: encode request: %w", err)
+	}
+	hresp, err := httpc.Post(c.BaseURL+path, "application/octet-stream", &body)
+	if err != nil {
+		return fmt.Errorf("wire: post %s: %w", path, err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
+		return fmt.Errorf("wire: node returned %s on %s: %s", hresp.Status, path, strings.TrimSpace(string(msg)))
+	}
+	if err := gob.NewDecoder(hresp.Body).Decode(resp); err != nil {
+		return fmt.Errorf("wire: decode %s response: %w", path, err)
+	}
+	return nil
+}
+
+// ShardEdges fetches a hosted slice's seam material.
+func (c *Client) ShardEdges(ref ShardRef) (EdgeResponse, error) {
+	var out EdgeResponse
+	if err := c.postGob("/shard/edges", ref, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node error: %s", out.Err)
+	}
+	return out, nil
+}
+
+// ShardDigest fetches a hosted slice's digest summary.
+func (c *Client) ShardDigest(ref ShardRef) (DigestResponse, error) {
+	var out DigestResponse
+	if err := c.postGob("/shard/digest", ref, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node error: %s", out.Err)
+	}
+	return out, nil
+}
+
+// ShardRemove drops a hosted slice from a node. In-flight streams keep
+// their pinned snapshots; only new requests are refused.
+func (c *Client) ShardRemove(ref ShardRef) error {
+	var out OKResponse
+	if err := c.postGob("/shard/remove", ref, &out); err != nil {
+		return err
+	}
+	if out.Err != "" {
+		return fmt.Errorf("wire: node error: %s", out.Err)
+	}
+	return nil
+}
+
+// Hosted inventories the node.
+func (c *Client) Hosted() (HostedResponse, error) {
+	var out HostedResponse
+	if err := c.postGob("/node/hosted", struct{}{}, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node error: %s", out.Err)
+	}
+	return out, nil
+}
+
+// ShardFetch opens a transfer stream for a hosted slice. The caller owns
+// the returned body (positioned at the manifest frame) and must close it.
+func (c *Client) ShardFetch(ref ShardRef) (io.ReadCloser, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(ref); err != nil {
+		return nil, fmt.Errorf("wire: encode fetch request: %w", err)
+	}
+	resp, err := httpc.Post(c.BaseURL+"/shard/fetch", "application/octet-stream", &body)
+	if err != nil {
+		return nil, fmt.Errorf("wire: post fetch: %w", err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		resp.Body.Close()
+		return nil, fmt.Errorf("wire: node returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	return resp.Body, nil
+}
+
+// ShardInstall streams transfer frames from r into a node's install
+// endpoint. The reader is typically a ShardFetch body (migration) or a
+// local WriteShardTransfer pipe (initial placement).
+func (c *Client) ShardInstall(r io.Reader) (OKResponse, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Post(c.BaseURL+"/shard/install", "application/octet-stream", r)
+	if err != nil {
+		return OKResponse{}, fmt.Errorf("wire: post install: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return OKResponse{}, fmt.Errorf("wire: node returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
+	}
+	var out OKResponse
+	if err := gob.NewDecoder(resp.Body).Decode(&out); err != nil {
+		return OKResponse{}, fmt.Errorf("wire: decode install response: %w", err)
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node rejected install: %s", out.Err)
+	}
+	return out, nil
+}
+
+// NodeDeltaPrepare stages an update batch on a node.
+func (c *Client) NodeDeltaPrepare(d delta.Delta) (NodeDeltaResponse, error) {
+	var out NodeDeltaResponse
+	if err := c.postGob("/node/delta", NodeDeltaRequest{Delta: d}, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node rejected delta: %s", out.Err)
+	}
+	return out, nil
+}
+
+// NodeMirror applies one cross-node mirror fix to a staged delta.
+func (c *Client) NodeMirror(req MirrorRequest) (MirrorResponse, error) {
+	var out MirrorResponse
+	if err := c.postGob("/node/mirror", req, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node rejected mirror fix: %s", out.Err)
+	}
+	return out, nil
+}
+
+// NodeTx commits or aborts a node's staged delta.
+func (c *Client) NodeTx(req TxRequest) (OKResponse, error) {
+	var out OKResponse
+	if err := c.postGob("/node/tx", req, &out); err != nil {
+		return out, err
+	}
+	if out.Err != "" {
+		return out, fmt.Errorf("wire: node error: %s", out.Err)
+	}
+	return out, nil
+}

@@ -1,0 +1,98 @@
+package wire_test
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"testing"
+
+	"vcqr/internal/hashx"
+	"vcqr/internal/owner"
+	"vcqr/internal/partition"
+	"vcqr/internal/wire"
+	"vcqr/internal/workload"
+)
+
+// splitFrames cuts a transfer stream back into its length-prefixed
+// frames so tests can splice and truncate at frame granularity.
+func splitFrames(t *testing.T, blob []byte) [][]byte {
+	t.Helper()
+	var frames [][]byte
+	for len(blob) > 0 {
+		if len(blob) < 4 {
+			t.Fatal("dangling frame prefix")
+		}
+		n := int(binary.BigEndian.Uint32(blob[:4]))
+		if len(blob) < 4+n {
+			t.Fatal("frame overruns stream")
+		}
+		frames = append(frames, blob[:4+n])
+		blob = blob[4+n:]
+	}
+	return frames
+}
+
+// TestShardTransferIntegrity pins the transfer codec's three outcomes:
+// a clean round trip, a tampered stream rejected by the slice-digest
+// compare (wire.ErrTransferDigest), and a truncated stream rejected as
+// such (wire.ErrTransferTruncated).
+func TestShardTransferIntegrity(t *testing.T) {
+	h := hashx.New()
+	o := owner.NewWithKey(h, signKey(t))
+	rel, err := workload.Uniform(workload.UniformConfig{N: 40, L: 0, U: 1 << 20, PayloadSize: 8, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr, err := o.Publish(rel, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set, err := partition.Split(sr, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	man := wire.ShardManifest{Spec: set.Spec, Shard: 0}
+
+	var clean bytes.Buffer
+	if err := wire.WriteShardTransfer(&clean, h, man, set.Slices[0]); err != nil {
+		t.Fatal(err)
+	}
+	gotMan, got, err := wire.ReadShardTransfer(bytes.NewReader(clean.Bytes()), h)
+	if err != nil {
+		t.Fatalf("clean transfer rejected: %v", err)
+	}
+	if gotMan.Shard != 0 || len(got.Recs) != len(set.Slices[0].Recs) {
+		t.Fatalf("round trip lost records: %d vs %d", len(got.Recs), len(set.Slices[0].Recs))
+	}
+	if !partition.SliceDigest(h, got).Equal(partition.SliceDigest(h, set.Slices[0])) {
+		t.Fatal("round trip changed the slice digest")
+	}
+
+	// Tamper: ship the original records but a foot minted for a modified
+	// slice — the receiver's recomputed digest must disagree, by name.
+	tampered := set.Slices[0].Clone()
+	tampered.Recs[2].Sig[0] ^= 0x01
+	var evil bytes.Buffer
+	if err := wire.WriteShardTransfer(&evil, h, man, tampered); err != nil {
+		t.Fatal(err)
+	}
+	cleanFrames := splitFrames(t, clean.Bytes())
+	evilFrames := splitFrames(t, evil.Bytes())
+	var spliced bytes.Buffer
+	for _, f := range cleanFrames[:len(cleanFrames)-1] {
+		spliced.Write(f)
+	}
+	spliced.Write(evilFrames[len(evilFrames)-1]) // the tampered slice's foot
+	if _, _, err := wire.ReadShardTransfer(bytes.NewReader(spliced.Bytes()), h); !errors.Is(err, wire.ErrTransferDigest) {
+		t.Fatalf("spliced transfer error = %v, want ErrTransferDigest", err)
+	}
+
+	// Truncate: drop the foot entirely.
+	var cut bytes.Buffer
+	for _, f := range cleanFrames[:len(cleanFrames)-1] {
+		cut.Write(f)
+	}
+	if _, _, err := wire.ReadShardTransfer(bytes.NewReader(cut.Bytes()), h); !errors.Is(err, wire.ErrTransferTruncated) {
+		t.Fatalf("truncated transfer error = %v, want ErrTransferTruncated", err)
+	}
+}
