@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz docs smoke-cluster ci
+.PHONY: all build vet test race bench fuzz docs smoke-cluster metrics-smoke ci
 
 all: ci
 
@@ -17,11 +17,13 @@ race:
 	$(GO) test -race ./...
 
 # bench runs the full paper-evaluation + serving benchmark suite and
-# refreshes the committed crypto fast-path trajectory (BENCH_crypto.json
-# — the file CI uploads and future PRs diff against).
+# refreshes the committed perf trajectories: the crypto fast path
+# (BENCH_crypto.json) and the observability overhead bound
+# (BENCH_obs.json) — the files CI uploads and future PRs diff against.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/vcbench -exp crypto -out BENCH_crypto.json
+	$(GO) run ./cmd/vcbench -exp obs -out BENCH_obs.json
 
 # bench-smoke is the CI-sized slice of bench: one iteration of the Go
 # benchmarks and the crypto sweep at reduced scale.
@@ -39,6 +41,13 @@ fuzz:
 # tier (also run by CI).
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
+
+# metrics-smoke exercises every monitoring surface of a live vcserve:
+# /metrics, /metrics.json, /debug/slowlog and pprof, on the query port
+# and the standalone -debug-addr listener — the verbatim-tested form of
+# docs/OPERATIONS.md § "Monitoring" (also run by CI).
+metrics-smoke:
+	sh scripts/metrics_smoke.sh
 
 # docs checks formatting hygiene and that every example still builds, so
 # the snippets README/DESIGN point at cannot rot.

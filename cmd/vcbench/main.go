@@ -18,10 +18,15 @@
 // condensed-signature assembly across |Q| and shard counts, plus the
 // delta-cutover index maintenance comparison; pass -out to also write
 // the machine-readable perf trajectory, e.g. -out BENCH_crypto.json as
-// `make bench` and CI do) and "cluster" (the distributed tier over real
+// `make bench` and CI do), "cluster" (the distributed tier over real
 // TCP: cross-node verified stream throughput vs the single-process
 // baseline, plus an online shard migration under live deltas reporting
-// copy/cutover latency and the zero-rejected-queries invariant).
+// copy/cutover latency and the zero-rejected-queries invariant) and
+// "obs" (what the observability layer costs: the BenchmarkStreamQuery
+// workload against obs-enabled and obs.Disabled() servers, reporting the
+// median overhead percentage — the PR bound is <=2% — and the stage
+// histograms the instrumented run populated; -exp obs -out
+// BENCH_obs.json writes the committed machine-readable record).
 package main
 
 import (
@@ -35,9 +40,9 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|cluster|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|cluster|obs|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
-	out := flag.String("out", "", "machine-readable output path for the crypto experiment (default: no file written; make bench and CI pass BENCH_crypto.json)")
+	out := flag.String("out", "", "machine-readable output path for the crypto and obs experiments when selected by name (default: no file written; make bench and CI pass BENCH_crypto.json / BENCH_obs.json)")
 	flag.Parse()
 
 	env, err := experiments.NewEnv(*short)
@@ -184,6 +189,26 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintCluster(w, r)
+	}
+	if run("obs") {
+		ran = true
+		r, err := env.Obs()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintObs(w, r)
+		// -out is shared with crypto, so only write when obs was asked
+		// for by name ("-exp all -out X" keeps meaning the crypto record).
+		if *out != "" && strings.EqualFold(*exp, "obs") {
+			blob, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *out)
+		}
 	}
 	if !ran {
 		fatal(fmt.Errorf("unknown experiment %q", *exp))

@@ -20,6 +20,12 @@
 //
 //	vcquery -url http://localhost:8080 -params params.gob \
 //	        -role manager -lo 1000 -hi 500000 -stream
+//
+// Adding -timing to a stream asks the server for its advisory per-stage
+// latency trailer (assembly, encode, fan-out sub-streams per node behind
+// a coordinator) and prints it alongside the locally measured
+// verification cost. The trailer is operational data only — it arrives
+// after the footer and is never part of what the verifier accepts.
 package main
 
 import (
@@ -33,6 +39,7 @@ import (
 	"vcqr/internal/accessctl"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 	"vcqr/internal/verify"
 	"vcqr/internal/wire"
@@ -48,6 +55,7 @@ func main() {
 	ranges := flag.String("ranges", "", "batch mode: comma-separated lo:hi pairs sent as one batch query")
 	stream := flag.Bool("stream", false, "stream mode: verify and print rows chunk by chunk")
 	chunkRows := flag.Int("chunk", 0, "stream mode: rows per chunk (0 = publisher default)")
+	timing := flag.Bool("timing", false, "stream mode: request the server's advisory timing trailer and print the per-stage latency breakdown (plus client-side verify cost)")
 	flag.Parse()
 
 	cp, err := wire.ReadClientParams(*paramsPath)
@@ -63,10 +71,16 @@ func main() {
 	if *cols != "" {
 		project = strings.Split(*cols, ",")
 	}
-	client := &wire.Client{BaseURL: *url}
+	client := &wire.Client{BaseURL: *url, Timing: *timing}
 	h := hashx.New()
 	pub := &sig.PublicKey{N: cp.N, E: cp.E}
 	v := verify.New(h, pub, cp.Params, cp.Schema)
+	if *timing {
+		// Local registry for the verifier-side cost; the trailer carries
+		// the server side. Both are advisory — the verdict never depends
+		// on either.
+		v.Obs = obs.NewRegistry()
+	}
 
 	if *ranges != "" {
 		runBatch(client, v, cp, role, *roleName, *ranges, project)
@@ -134,6 +148,31 @@ func runStream(client *wire.Client, v *verify.Verifier, cp wire.ClientParams, ro
 		fmt.Printf("time to first verified row: %v (total %v)\n", firstRow, total)
 	} else {
 		fmt.Printf("empty result verified in %v\n", total)
+	}
+	printTiming(v, stats)
+}
+
+// printTiming renders the -timing breakdown: the server's advisory
+// trailer stages (including per-node breakdowns behind a coordinator)
+// and the client-side verify cost measured locally.
+func printTiming(v *verify.Verifier, stats wire.StreamStats) {
+	if len(stats.Timing) > 0 {
+		fmt.Printf("trace %s server-side breakdown (advisory, not verified):\n", stats.Trace)
+		for _, sd := range stats.Timing {
+			stage, labels := obs.SplitName(sd.Stage)
+			for _, kv := range labels {
+				stage += " " + kv[0] + "=" + kv[1]
+			}
+			fmt.Printf("  %-44s %s\n", stage, obs.FormatNS(sd.NS))
+		}
+	}
+	if v.Obs == nil {
+		return
+	}
+	snap := v.Obs.Snapshot()[obs.StageVerify]
+	if snap.Count() > 0 {
+		fmt.Printf("client-side verify: %d chunks, total %s, p95/chunk %s\n",
+			snap.Count(), obs.FormatNS(snap.SumNS), obs.FormatNS(int64(snap.Quantile(0.95))))
 	}
 }
 

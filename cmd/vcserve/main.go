@@ -51,6 +51,7 @@ import (
 	"vcqr/internal/cluster"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/owner"
 	"vcqr/internal/partition"
 	"vcqr/internal/server"
@@ -58,6 +59,30 @@ import (
 	"vcqr/internal/wire"
 	"vcqr/internal/workload"
 )
+
+// Observability flags shared by every serving mode. The query port
+// already serves /metrics, /metrics.json and /debug/...; -debug-addr
+// additionally serves the debug surface on its own listener for
+// deployments that firewall diagnostics away from query traffic.
+var (
+	debugAddr string
+	slowQuery time.Duration
+)
+
+// serveDebug starts the standalone debug listener when -debug-addr is
+// set: expvar, pprof and the slow-query log, off the query port.
+func serveDebug(slow *obs.SlowLog) {
+	if debugAddr == "" {
+		return
+	}
+	mux := obs.DebugMux(slow)
+	go func() {
+		log.Printf("debug surface (expvar, pprof, slowlog) on %s", debugAddr)
+		if err := http.ListenAndServe(debugAddr, mux); err != nil {
+			log.Printf("debug listener: %v", err)
+		}
+	}()
+}
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
@@ -71,6 +96,8 @@ func main() {
 	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -nodes")
 	nodesFlag := flag.String("nodes", "", "comma-separated shard-node base URLs (coordinator mode)")
 	adopt := flag.Bool("adopt", false, "coordinator mode: recover the routing table from node inventories instead of loading a snapshot")
+	flag.StringVar(&debugAddr, "debug-addr", "", "serve expvar/pprof/slowlog on a separate listener (empty = query port only)")
+	flag.DurationVar(&slowQuery, "slow-query", 0, "slow-query log retention threshold, e.g. 250ms (0 = default 100ms, negative disables)")
 	flag.Parse()
 
 	switch {
@@ -102,11 +129,13 @@ func runNode(addr, paramsPath string, cacheSize int) {
 		log.Fatal(err)
 	}
 	s := server.New(server.Config{
-		Hasher:    hashx.New(),
-		Pub:       &sig.PublicKey{N: cp.N, E: cp.E},
-		Policy:    policyFrom(cp),
-		CacheSize: cacheSize,
+		Hasher:        hashx.New(),
+		Pub:           &sig.PublicKey{N: cp.N, E: cp.E},
+		Policy:        policyFrom(cp),
+		CacheSize:     cacheSize,
+		SlowThreshold: slowQuery,
 	})
+	serveDebug(s.Obs().Slow)
 	hs, err := server.Serve(addr, s)
 	if err != nil {
 		log.Fatal(err)
@@ -160,17 +189,20 @@ func runCoordinator(addr, load, paramsPath, nodesFlag string, adopt bool) {
 	}
 
 	coord, err := cluster.New(cluster.Config{
-		Hasher: h,
-		Pub:    pub,
-		Params: cp.Params,
-		Schema: cp.Schema,
-		Policy: policyFrom(cp),
-		Spec:   spec,
-		Nodes:  nodes,
+		Hasher:        h,
+		Pub:           pub,
+		Params:        cp.Params,
+		Schema:        cp.Schema,
+		Policy:        policyFrom(cp),
+		Spec:          spec,
+		Nodes:         nodes,
+		SlowThreshold: slowQuery,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	defer coord.Close()
+	serveDebug(coord.Obs().Slow)
 	if adopt {
 		rep, err := coord.Recover()
 		if err != nil {
@@ -295,11 +327,13 @@ func runSingle(addr, load, paramsPath string, n int, seed int64, shards, cacheSi
 	}
 
 	s := server.New(server.Config{
-		Hasher:    h,
-		Pub:       pub,
-		Policy:    policyFrom(cp),
-		CacheSize: cacheSize,
+		Hasher:        h,
+		Pub:           pub,
+		Policy:        policyFrom(cp),
+		CacheSize:     cacheSize,
+		SlowThreshold: slowQuery,
 	})
+	serveDebug(s.Obs().Slow)
 	var name string
 	var records int
 	switch {

@@ -2,6 +2,7 @@ package cluster
 
 import (
 	"errors"
+	"expvar"
 	"fmt"
 	"io"
 	"net/http"
@@ -9,11 +10,13 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/partition"
 	"vcqr/internal/relation"
 	"vcqr/internal/sig"
@@ -69,6 +72,12 @@ type Config struct {
 	// ChunkRows bounds entries per chunk on node sub-streams when the
 	// client request does not choose; 0 = engine.DefaultChunkRows.
 	ChunkRows int
+	// Obs receives the coordinator's stage histograms and slow-query log;
+	// nil builds a fresh enabled registry (obs.Disabled() opts out).
+	Obs *obs.Registry
+	// SlowThreshold overrides the slow-query retention threshold when
+	// non-zero (negative disables retention).
+	SlowThreshold time.Duration
 }
 
 // Coordinator owns the routing table of one partitioned publication and
@@ -100,6 +109,11 @@ type Coordinator struct {
 	queries, streams, fanouts, errors atomic.Uint64
 	handoffRetries, routingRetries    atomic.Uint64
 	deltasApplied, migrations         atomic.Uint64
+
+	// obs holds the coordinator's stage histograms and slow log; the hot
+	// pin/merge paths cache their histogram pointers.
+	obs  *obs.Registry
+	hPin *obs.Histogram // pin_feeds
 }
 
 // New builds a coordinator. The routing table starts empty; fill it with
@@ -130,8 +144,24 @@ func New(cfg Config) (*Coordinator, error) {
 	for _, url := range c.nodes {
 		c.clients[url] = &wire.Client{BaseURL: url, HTTP: cfg.HTTP}
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.SlowThreshold != 0 {
+		reg.Slow.SetThreshold(cfg.SlowThreshold)
+	}
+	c.obs = reg
+	c.hPin = reg.Hist(obs.StagePinFeeds)
+	registerCoordinator(c)
 	return c, nil
 }
+
+// Obs returns the coordinator's observability registry.
+func (c *Coordinator) Obs() *obs.Registry { return c.obs }
+
+// Close unregisters the coordinator from the process expvar aggregate.
+func (c *Coordinator) Close() { unregisterCoordinator(c) }
 
 // Spec returns the authenticated partition layout.
 func (c *Coordinator) Spec() partition.Spec { return c.spec }
@@ -241,6 +271,15 @@ func (c *Coordinator) plan(roleName string, q engine.Query) (accessctl.Role, eng
 // single process serving the same slices would emit, so the unmodified
 // client verifiers accept it unchanged.
 func (c *Coordinator) QueryStream(roleName string, q engine.Query, chunkRows int) (engine.ResultStream, error) {
+	return c.queryStreamTraced(roleName, q, chunkRows, nil)
+}
+
+// queryStreamTraced is QueryStream carrying an optional request span: the
+// span's trace ID propagates to every shard node (one trace stitches the
+// whole fan-out) and the per-node sub-stream breakdowns land on the span
+// as they arrive. A nil span serves untraced with zero overhead beyond
+// the histogram observations.
+func (c *Coordinator) queryStreamTraced(roleName string, q engine.Query, chunkRows int, span *obs.Span) (engine.ResultStream, error) {
 	c.queries.Add(1)
 	c.streams.Add(1)
 	_, eff, sub, err := c.plan(roleName, q)
@@ -251,7 +290,10 @@ func (c *Coordinator) QueryStream(roleName string, q engine.Query, chunkRows int
 	if chunkRows == 0 {
 		chunkRows = c.chunkRows
 	}
-	feeds, prevG, err := c.pinFeeds(roleName, q, sub, chunkRows)
+	tPin := time.Now()
+	feeds, prevG, err := c.pinFeeds(roleName, q, sub, chunkRows, span)
+	c.hPin.ObserveSince(tPin)
+	span.Add(obs.StagePinFeeds, time.Since(tPin))
 	if err != nil {
 		c.errors.Add(1)
 		return nil, err
@@ -279,8 +321,12 @@ const pinRetries = 8
 // pinned with the set (and hand-off-checked against the first feed), so
 // the empty-range predecessor digest is epoch-consistent with the cover
 // — exactly the in-process pinCover contract.
-func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.SubRange, chunkRows int) ([]engine.ShardFeed, engine.PrevG, error) {
+func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.SubRange, chunkRows int, span *obs.Span) ([]engine.ShardFeed, engine.PrevG, error) {
 	rel := c.spec.Relation
+	var trace string
+	if span != nil {
+		trace = span.Trace
+	}
 	var lastErr error
 	for attempt := 0; attempt < pinRetries; attempt++ {
 		repoch := c.repoch.Load()
@@ -315,6 +361,7 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				Lo: sr.Lo, Hi: sr.Hi,
 				First: i == 0, Last: i == len(sub)-1,
 				ChunkRows: chunkRows, RoutingEpoch: repoch,
+				Trace: trace,
 			})
 			if err != nil {
 				closeFeeds(feeds)
@@ -326,9 +373,18 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				}
 				return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", sr.Shard, url, err)
 			}
-			feeds = append(feeds, &remoteFeed{ns: ns, shard: sr.Shard, relation: rel})
+			feeds = append(feeds, &remoteFeed{
+				ns: ns, shard: sr.Shard, relation: rel,
+				url: url, span: span,
+				hWait: c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
+			})
 			hellos = append(hellos, ns.Hello())
-			if i > 0 && !hellos[i-1].Edges.HandoffOK(hellos[i].Edges) {
+			tSeam := time.Now()
+			seamOK := i == 0 || hellos[i-1].Edges.HandoffOK(hellos[i].Edges)
+			if i > 0 {
+				c.obs.Hist(obs.StageSeamCheck).ObserveSince(tSeam)
+			}
+			if !seamOK {
 				// A boundary change is mid-cutover somewhere between these
 				// two nodes' pins; re-pin the whole set.
 				c.handoffRetries.Add(1)
@@ -390,7 +446,11 @@ func closeFeeds(feeds []engine.ShardFeed) {
 
 // Query answers one materialized query by collecting its merged stream.
 func (c *Coordinator) Query(roleName string, q engine.Query) (*engine.Result, error) {
-	st, err := c.QueryStream(roleName, q, 0)
+	sp := obs.StartSpan("")
+	defer func() {
+		c.obs.Slow.Finish(sp, "query", fmt.Sprintf("role=%s relation=%s", roleName, q.Relation))
+	}()
+	st, err := c.queryStreamTraced(roleName, q, 0, sp)
 	if err != nil {
 		return nil, err
 	}
@@ -441,4 +501,48 @@ func sortedKeys[V any](m map[string]V) []string {
 	}
 	sort.Strings(out)
 	return out
+}
+
+// --- process-wide expvar aggregation ---------------------------------
+//
+// The same publish-once/registry pattern internal/server uses for
+// vcqr_server: coordinator mode was the one serving flavor with no
+// process expvar, which left /debug/vars empty of serving counters on a
+// coordinator — fixed by aggregating every live Coordinator here.
+
+var (
+	coordRegistryMu sync.Mutex
+	coordRegistry   = map[*Coordinator]struct{}{}
+	coordPublishVar sync.Once
+)
+
+func registerCoordinator(c *Coordinator) {
+	coordPublishVar.Do(func() {
+		expvar.Publish("vcqr_coordinator", expvar.Func(func() any {
+			coordRegistryMu.Lock()
+			defer coordRegistryMu.Unlock()
+			var agg Stats
+			for co := range coordRegistry {
+				st := co.Stats()
+				agg.Queries += st.Queries
+				agg.Streams += st.Streams
+				agg.Fanouts += st.Fanouts
+				agg.Errors += st.Errors
+				agg.HandoffRetries += st.HandoffRetries
+				agg.RoutingRetries += st.RoutingRetries
+				agg.DeltasApplied += st.DeltasApplied
+				agg.Migrations += st.Migrations
+			}
+			return agg
+		}))
+	})
+	coordRegistryMu.Lock()
+	coordRegistry[c] = struct{}{}
+	coordRegistryMu.Unlock()
+}
+
+func unregisterCoordinator(c *Coordinator) {
+	coordRegistryMu.Lock()
+	delete(coordRegistry, c)
+	coordRegistryMu.Unlock()
 }

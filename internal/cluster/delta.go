@@ -3,10 +3,12 @@ package cluster
 import (
 	"fmt"
 	"sort"
+	"time"
 
 	"vcqr/internal/core"
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
+	"vcqr/internal/obs"
 	"vcqr/internal/partition"
 	"vcqr/internal/wire"
 )
@@ -40,6 +42,11 @@ func (c *Coordinator) ApplyDelta(d delta.Delta) (uint64, error) {
 	}
 	c.ctl.Lock()
 	defer c.ctl.Unlock()
+	sp := obs.StartSpan("")
+	defer func() {
+		c.obs.Hist(obs.StageDeltaApply).Observe(sp.Elapsed())
+		c.obs.Slow.Finish(sp, "delta", fmt.Sprintf("relation=%s ops=%d", d.Relation, len(d.Ops)))
+	}()
 
 	epoch, err := c.applyDelta(d)
 	if err != nil {
@@ -81,6 +88,7 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 	}
 
 	// Phase 1: prepare on every affected node.
+	tPhase := time.Now()
 	tokens := map[string]uint64{}
 	staged := map[int]partition.Edges{} // staged seam material per shard
 	stagedAt := map[int]string{}        // which node stages which shard
@@ -109,9 +117,12 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 		}
 	}
 
+	c.obs.Hist(obs.StageDeltaPrepare).ObserveSince(tPhase)
+
 	// Phase 2: cross-node mirror fixes. A staged shard's edge records
 	// must be mirrored by its neighbours; neighbours staged on the same
 	// node were stitched during prepare, the rest get a pushed fix.
+	tPhase = time.Now()
 	modified := make([]int, 0, len(staged))
 	for i := range staged {
 		modified = append(modified, i)
@@ -182,9 +193,12 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 		}
 	}
 
+	c.obs.Hist(obs.StageDeltaMirror).ObserveSince(tPhase)
+
 	// Phase 3: seam checks over staged edge material — the validations
 	// the nodes deferred, plus the digest compare, for every seam
 	// adjacent to anything staged.
+	tPhase = time.Now()
 	stagedNow := make([]int, 0, len(staged))
 	for i := range staged {
 		stagedNow = append(stagedNow, i)
@@ -221,10 +235,14 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 		}
 	}
 
+	c.obs.Hist(obs.StageDeltaSeam).ObserveSince(tPhase)
+
 	// Phase 4: commit everywhere. Failures here are partial by nature;
 	// report them with the nodes that did commit so the operator can
 	// reconcile (the staged-versus-published divergence is visible in
 	// /shard/digest).
+	tPhase = time.Now()
+	defer func() { c.obs.Hist(obs.StageDeltaCommit).ObserveSince(tPhase) }()
 	var epoch uint64
 	committed := make([]string, 0, len(tokens))
 	for _, url := range sortedKeys(tokens) {

@@ -1,19 +1,33 @@
 package cluster
 
 import (
+	"time"
+
 	"vcqr/internal/engine"
+	"vcqr/internal/obs"
 	"vcqr/internal/wire"
 )
 
 // remoteFeed adapts one node sub-stream to the engine's ShardFeed seam:
 // the hello maps to the head, the wire foot to the feed foot. The
-// adapter adds nothing — all merge semantics live in engine.MergeShards,
-// which is what keeps the remote fan-out byte-identical to the local
-// one.
+// adapter adds nothing to the merge semantics — those live in
+// engine.MergeShards, which is what keeps the remote fan-out
+// byte-identical to the local one. What it does add is the coordinator's
+// per-node observation point: every wait on the node accumulates into
+// the node-labeled substream histogram, and the node's advisory foot
+// timing lands on the request span.
 type remoteFeed struct {
 	ns       *wire.NodeStream
 	shard    int
 	relation string
+
+	// url labels the node; hWait is the coordinator-side wait histogram
+	// (obs.Labeled(StageSubStream, "node", url)); span, when the request
+	// is traced, receives the node's own foot breakdown.
+	url    string
+	span   *obs.Span
+	hWait  *obs.Histogram
+	waitNS int64
 }
 
 func (f *remoteFeed) Head() (engine.ShardHead, error) {
@@ -21,12 +35,29 @@ func (f *remoteFeed) Head() (engine.ShardHead, error) {
 	return engine.ShardHead{Shard: f.shard, Left: hello.Left}, nil
 }
 
-func (f *remoteFeed) Next() (*engine.Chunk, error) { return f.ns.Next() }
+func (f *remoteFeed) Next() (*engine.Chunk, error) {
+	t0 := time.Now()
+	c, err := f.ns.Next()
+	f.waitNS += int64(time.Since(t0))
+	return c, err
+}
 
 func (f *remoteFeed) Foot() (engine.ShardFeedFoot, error) {
+	t0 := time.Now()
 	foot, err := f.ns.Foot()
+	f.waitNS += int64(time.Since(t0))
+	// One observation per sub-stream: the total time this feed spent
+	// waiting on its node, attributed to the node by label.
+	f.hWait.Observe(time.Duration(f.waitNS))
 	if err != nil {
 		return engine.ShardFeedFoot{}, err
+	}
+	// The node's advisory self-report (assembly vs total on its side)
+	// joins the trace labeled with the node, so a slow-log entry shows
+	// where inside the node the time went, not just that the wait was
+	// long.
+	for _, sd := range foot.Timing {
+		f.span.AddNS(obs.Labeled(sd.Stage, "node", f.url), sd.NS)
 	}
 	return engine.ShardFeedFoot{
 		Entries:   foot.Entries,

@@ -8,6 +8,8 @@ import (
 	"strconv"
 
 	"vcqr/internal/delta"
+	"vcqr/internal/engine"
+	"vcqr/internal/obs"
 	"vcqr/internal/wire"
 )
 
@@ -22,6 +24,11 @@ import (
 //	POST /delta            gob delta.Delta        -> gob wire.DeltaResponse
 //	GET  /healthz          "ok"
 //	GET  /statsz           JSON cluster.Stats
+//	GET  /metrics          Prometheus text: coordinator counters and stage
+//	                       histograms, per-node scraped histograms, and the
+//	                       merged cluster-wide aggregates
+//	GET  /metrics.json     obs.Export (coordinator's own registry)
+//	GET  /debug/...        expvar, pprof, slow-query log
 //	GET  /admin/routing    JSON routing table
 //	POST /admin/rebalance  ?shard=N&to=URL        -> JSON RebalanceReport
 func (c *Coordinator) Handler() http.Handler {
@@ -52,6 +59,9 @@ func (c *Coordinator) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(c.Stats())
 	})
+	mux.HandleFunc("/metrics", c.handleMetrics)
+	mux.HandleFunc("/metrics.json", c.handleMetricsJSON)
+	obs.RegisterDebug(mux, c.obs.Slow)
 	mux.HandleFunc("/admin/routing", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(struct {
@@ -98,15 +108,120 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
-	st, err := c.QueryStream(req.Role, req.Query, req.ChunkRows)
+	// The span's trace ID (client-supplied or minted here) rides every
+	// shard sub-request, so one ID stitches coordinator and nodes.
+	sp := obs.StartSpan(req.Trace)
+	st, err := c.queryStreamTraced(req.Role, req.Query, req.ChunkRows, sp)
 	if err != nil {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
-	if err := wire.WriteStream(flushWriter{w}, st); err != nil {
+	fw := flushWriter{w}
+	werr := wire.WriteStream(fw, st)
+	if werr != nil {
 		c.errors.Add(1)
 	}
+	total := sp.Elapsed()
+	c.obs.Observe(obs.StageFanoutMerge, total)
+	sp.Add(obs.StageStreamTotal, total)
+	if werr == nil && req.Timing {
+		// Advisory trailer after the footer, only on request — same
+		// contract as the single-process server, with the per-node
+		// breakdowns (collected at each feed's foot) included.
+		tc := &engine.Chunk{Type: engine.ChunkTiming, Trace: sp.Trace, Timing: sp.Stages()}
+		if err := wire.WriteChunkFrame(fw, tc); err == nil {
+			fw.Flush()
+		}
+	}
+	c.obs.Slow.Finish(sp, "stream",
+		fmt.Sprintf("role=%s relation=%s", req.Role, req.Query.Relation))
+}
+
+// handleMetrics serves the cluster-wide Prometheus exposition. Three
+// histogram families share the bucket geometry that makes node snapshots
+// mergeable (internal/obs):
+//
+//	vcqr_stage_seconds{role="coordinator",stage}  this process
+//	vcqr_node_stage_seconds{node,stage}           each scraped node, as-is
+//	vcqr_cluster_stage_seconds{stage}             coordinator + all nodes,
+//	                                              merged per stage
+//
+// A node that fails to scrape is skipped and counted in
+// vcqr_node_scrape_errors — a partial cluster view beats a failed scrape.
+func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := c.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	for _, cv := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"vcqr_queries_total", "Queries served.", st.Queries},
+		{"vcqr_streams_total", "Streamed queries served.", st.Streams},
+		{"vcqr_fanouts_total", "Queries decomposed over more than one shard.", st.Fanouts},
+		{"vcqr_errors_total", "Serving errors.", st.Errors},
+		{"vcqr_handoff_retries_total", "Cross-node epoch-set re-pins.", st.HandoffRetries},
+		{"vcqr_routing_retries_total", "Pins retried after stale-routing refusals.", st.RoutingRetries},
+		{"vcqr_deltas_applied_total", "Distributed deltas committed.", st.DeltasApplied},
+		{"vcqr_migrations_total", "Shard migrations completed.", st.Migrations},
+	} {
+		obs.WriteCounterFamily(w, cv.name, cv.help,
+			[]obs.CounterSeries{{Labels: [][2]string{{"role", "coordinator"}}, Value: float64(cv.v)}})
+	}
+	obs.WriteGaugeFamily(w, "vcqr_routing_epoch", "Routing table version.",
+		[]obs.CounterSeries{{Labels: [][2]string{{"role", "coordinator"}}, Value: float64(st.RoutingEpoch)}})
+	own := c.obs.Snapshot()
+	obs.WriteHistogramFamily(w, "vcqr_stage_seconds",
+		"Per-stage serving latency (seconds).",
+		obs.HistFamily(own, "role", "coordinator"))
+
+	// Scrape every node's /metrics.json and render both the per-node
+	// series and the merged cluster aggregate.
+	var nodeSeries []obs.HistSeries
+	sets := []map[string]obs.Snapshot{own}
+	var scrapeErrs uint64
+	for _, url := range c.nodes {
+		cl, err := c.client(url)
+		if err != nil {
+			scrapeErrs++
+			continue
+		}
+		e, err := cl.ObsExport()
+		if err != nil {
+			scrapeErrs++
+			continue
+		}
+		nodeSeries = append(nodeSeries, obs.HistFamily(e.Hists, "node", url)...)
+		sets = append(sets, e.Hists)
+	}
+	obs.WriteGaugeFamily(w, "vcqr_node_scrape_errors", "Nodes that failed the last /metrics scrape.",
+		[]obs.CounterSeries{{Value: float64(scrapeErrs)}})
+	obs.WriteHistogramFamily(w, "vcqr_node_stage_seconds",
+		"Per-stage latency as reported by each shard node (seconds).", nodeSeries)
+	obs.WriteHistogramFamily(w, "vcqr_cluster_stage_seconds",
+		"Per-stage latency merged across the coordinator and every node (seconds).",
+		obs.HistFamily(obs.MergeAll(sets...)))
+}
+
+// handleMetricsJSON serves the coordinator's own registry as an
+// obs.Export (nodes serve their own; merging is the scraper's job).
+func (c *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	st := c.Stats()
+	obs.WriteExport(w, obs.Export{
+		Role:     "coordinator",
+		BoundsNS: obs.BucketBounds(),
+		Hists:    c.obs.Snapshot(),
+		Counters: map[string]uint64{
+			"queries":         st.Queries,
+			"streams":         st.Streams,
+			"fanouts":         st.Fanouts,
+			"errors":          st.Errors,
+			"handoff_retries": st.HandoffRetries,
+			"routing_retries": st.RoutingRetries,
+			"deltas_applied":  st.DeltasApplied,
+			"migrations":      st.Migrations,
+		},
+	})
 }
 
 // flushWriter adapts the response writer so wire.WriteStream flushes

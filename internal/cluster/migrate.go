@@ -6,6 +6,7 @@ import (
 	"sort"
 	"time"
 
+	"vcqr/internal/obs"
 	"vcqr/internal/wire"
 )
 
@@ -124,6 +125,7 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 		}
 	}
 	rep.CopyDuration = time.Since(copyStart)
+	c.obs.Hist(obs.StageRebalCopy).Observe(rep.CopyDuration)
 
 	// cutover, under the lock: deltas wait, queries do not.
 	cutStart := time.Now()
@@ -178,6 +180,18 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 	rep.RoutingEpoch = c.repoch.Add(1)
 	c.ctl.Unlock()
 	rep.CutoverDuration = time.Since(cutStart)
+	c.obs.Hist(obs.StageRebalCutover).Observe(rep.CutoverDuration)
+	// Migrations land in the slow log like any request, compared against
+	// the threshold by their copy+cutover sum.
+	c.obs.Slow.Record(obs.SlowEntry{
+		Trace: obs.NewTraceID(), Op: "rebalance",
+		Detail: fmt.Sprintf("relation=%s shard=%d from=%s to=%s rounds=%d", rel, shard, from, to, rep.CopyRounds),
+		Start:  copyStart, NS: int64(rep.CopyDuration + rep.CutoverDuration),
+		Stages: []obs.StageDur{
+			{Stage: obs.StageRebalCopy, NS: int64(rep.CopyDuration)},
+			{Stage: obs.StageRebalCutover, NS: int64(rep.CutoverDuration)},
+		},
+	})
 
 	// drain: double-serving ends. In-flight streams hold their pinned
 	// epochs; only new pins move to the target.

@@ -5,9 +5,11 @@ import (
 	"io"
 	"runtime"
 	"sync"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 )
 
@@ -80,6 +82,8 @@ func (p *Publisher) FanoutStream(role accessctl.Role, eff Query, slices []ShardS
 		ab:        make([][2]int, len(slices)),
 		feet:      make([]ShardFoot, len(slices)),
 		idxs:      make([]*core.AggIndex, len(slices)),
+		hMerge:    p.Obs.Hist(obs.StageFanoutMerge),
+		hAgg:      p.Obs.Hist(obs.StageAggIndex),
 	}
 	for i, sl := range slices {
 		if i > 0 && sl.Lo != slices[i-1].Hi+1 {
@@ -152,6 +156,12 @@ type fanoutStream struct {
 	done    chan struct{}
 	closer  sync.Once
 
+	// Stage recorders (nil when the publisher has no registry): hMerge
+	// takes the merger's per-chunk wait on the worker channels, hAgg the
+	// per-shard product-tree lookups.
+	hMerge *obs.Histogram
+	hAgg   *obs.Histogram
+
 	stage streamStage
 	err   error
 }
@@ -212,7 +222,9 @@ func (st *fanoutStream) runWorker(m int, w *shardWorker) {
 	switch a, b := st.ab[m][0], st.ab[m][1]; {
 	case st.agg != nil && st.idxs[m] != nil && b > a:
 		// The shard's whole partial in O(log n) multiplications.
+		t0 := time.Now()
 		sum, err := st.idxs[m].RangeAggregate(a, b)
+		st.hAgg.ObserveSince(t0)
 		if err != nil {
 			out.err = err
 		}
@@ -358,7 +370,9 @@ func (st *fanoutStream) next() (*Chunk, error) {
 func (st *fanoutStream) nextParallel() (*Chunk, error) {
 	for st.cur < len(st.workers) {
 		w := st.workers[st.cur]
+		t0 := time.Now()
 		c, ok := <-w.ch
+		st.hMerge.ObserveSince(t0)
 		if ok {
 			st.feet[st.cur].Entries += uint64(len(c.Entries))
 			return c, nil
@@ -432,7 +446,9 @@ func (st *fanoutStream) footer() (*Chunk, error) {
 			if ix == nil || b <= a {
 				continue
 			}
+			t0 := time.Now()
 			rs, err := ix.RangeAggregate(a, b)
+			st.hAgg.ObserveSince(t0)
 			if err != nil {
 				return nil, fmt.Errorf("engine: aggregation: %w", err)
 			}

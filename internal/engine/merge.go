@@ -3,10 +3,12 @@ package engine
 import (
 	"fmt"
 	"io"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 )
 
@@ -123,6 +125,7 @@ func (p *Publisher) ShardPartial(sr *core.SignedRelation, roleName string, q Que
 		shard: shard, lo: lo, hi: hi, first: first, last: last,
 		chunkRows: opts.chunkRows(), a: a, b: b, pos: a,
 		reuse: opts.ReuseChunks,
+		hAgg:  p.Obs.Hist(obs.StageAggIndex),
 	}
 	if p.Aggregate {
 		if ix := sr.AggIndex(); ix != nil && ix.Len() == len(sr.Recs) {
@@ -154,6 +157,9 @@ type ShardPartial struct {
 	reuse    bool
 	chunkBuf Chunk
 	entryBuf []VOEntry
+
+	// hAgg records the foot's product-tree lookup (nil without a registry).
+	hAgg *obs.Histogram
 
 	err error
 }
@@ -233,7 +239,9 @@ func (sp *ShardPartial) Foot() (ShardFeedFoot, error) {
 	foot := ShardFeedFoot{Entries: uint64(sp.b - sp.a)}
 	switch {
 	case sp.idx != nil && sp.b > sp.a:
+		t0 := time.Now()
 		partial, err := sp.idx.RangeAggregate(sp.a, sp.b)
+		sp.hAgg.ObserveSince(t0)
 		if err != nil {
 			return ShardFeedFoot{}, fmt.Errorf("engine: aggregation: %w", err)
 		}

@@ -8,6 +8,7 @@ import (
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/relation"
 	"vcqr/internal/sig"
 )
@@ -38,6 +39,11 @@ type Publisher struct {
 	// Aggregate selects condensed signatures (Section 5.2, default) over
 	// one-signature-per-entry VOs.
 	Aggregate bool
+
+	// Obs receives stage latency observations (internal/obs) when the
+	// hosting layer wires a registry in. Nil or disabled is a no-op.
+	// Like Aggregate it must be set before the publisher is shared.
+	Obs *obs.Registry
 }
 
 // NewPublisher creates a publisher that verifies relations against the

@@ -4,10 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 )
 
@@ -45,6 +47,13 @@ const (
 	// transport layers use it to carry failures in-band once the HTTP
 	// status line is already committed.
 	ChunkError ChunkType = 4
+	// ChunkTiming is an advisory trailer a serving layer may append
+	// AFTER the footer when (and only when) the client asked for it
+	// (wire.StreamRequest.Timing): the request's trace ID and per-stage
+	// latency breakdown. It carries no verified material — transports
+	// surface it to the user without feeding it to the verifier, and the
+	// verifier would reject it anyway (no chunk may follow the footer).
+	ChunkTiming ChunkType = 5
 )
 
 // String implements fmt.Stringer.
@@ -58,6 +67,8 @@ func (t ChunkType) String() string {
 		return "footer"
 	case ChunkError:
 		return "error"
+	case ChunkTiming:
+		return "timing"
 	}
 	return "?"
 }
@@ -116,6 +127,14 @@ type Chunk struct {
 
 	// Error field.
 	Err string
+
+	// Timing trailer fields (ChunkTiming only; see internal/obs). Both
+	// are advisory operational data, never covered by any signature —
+	// byte-identity of the *verified* stream is unaffected because a
+	// timing trailer is only emitted on explicit request, after the
+	// footer.
+	Trace  string
+	Timing []obs.StageDur
 }
 
 // ShardFoot is one shard's line in a fan-out footer's continuity
@@ -378,7 +397,9 @@ func (s *voStream) next() (*Chunk, error) {
 		if s.idx != nil && s.b > s.a {
 			// The covered run's condensed signature in O(log n)
 			// multiplications — this one line is the tentpole speedup.
+			t0 := time.Now()
 			rs, err := s.idx.RangeAggregate(s.a, s.b)
+			s.p.Obs.Hist(obs.StageAggIndex).ObserveSince(t0)
 			if err != nil {
 				return nil, fmt.Errorf("engine: aggregation: %w", err)
 			}
@@ -440,6 +461,8 @@ func Collect(st ResultStream) (*Result, error) {
 			sawFooter = true
 		case ChunkError:
 			return nil, fmt.Errorf("engine: stream error: %s", c.Err)
+		case ChunkTiming:
+			// Advisory trailer — not part of the result.
 		default:
 			return nil, fmt.Errorf("engine: unknown chunk type %d", c.Type)
 		}

@@ -310,6 +310,43 @@ func TestPrecisionScenario(t *testing.T) {
 	PrintPrecision(&buf, r)
 }
 
+// TestObsOverheadShape: the instrumentation-overhead experiment must run
+// both sides, populate the streaming-path stage histograms on the
+// enabled server, and produce sane latencies. The overhead percentage
+// itself is hardware noise and deliberately unasserted here — the
+// committed BENCH_obs.json records the bound.
+func TestObsOverheadShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment harness is slow")
+	}
+	r, err := env(t).Obs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.EnabledNS <= 0 || r.DisabledNS <= 0 {
+		t.Fatalf("non-positive latencies: %+v", r)
+	}
+	want := map[string]bool{"stream_total": false, "stream_chunk": false}
+	for _, s := range r.Stages {
+		if _, ok := want[s.Stage]; ok {
+			want[s.Stage] = true
+		}
+		if s.Count == 0 {
+			t.Errorf("stage %s reported with zero observations", s.Stage)
+		}
+	}
+	for stage, seen := range want {
+		if !seen {
+			t.Errorf("enabled run did not populate %s: %+v", stage, r.Stages)
+		}
+	}
+	var buf bytes.Buffer
+	PrintObs(&buf, r)
+	if buf.Len() == 0 {
+		t.Fatal("printer produced nothing")
+	}
+}
+
 // TestShardingSweep: the partitioned-publisher sweep must verify its
 // cross-shard streams at every K and show query and delta throughput
 // rising with K on the same data. Exact ratios are hardware-dependent;

@@ -1,0 +1,231 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
+	"vcqr/internal/server"
+	"vcqr/internal/verify"
+)
+
+// This file measures what the observability layer itself costs: the same
+// streamed-and-verified query served by two servers over one signed
+// relation — one with the default enabled obs registry, one with
+// obs.Disabled() — interleaved iteration by iteration so drift hits both
+// sides equally. The workload is BenchmarkStreamQuery's streamed case
+// (top-512 range, 64-row chunks, incremental verify), and the headline
+// number is the overhead percentage on the best (minimum) iteration,
+// which the PR's acceptance bound holds to <=2%. Minimum, not mean:
+// scheduler and GC noise on a ~20ms RSA-dominated op is one-sided and
+// several percent wide, an order of magnitude above the few microseconds
+// of atomic counter updates being measured — the fastest iteration of
+// each side is the cleanest view of the code's actual cost. The medians
+// are reported alongside as the noise floor.
+
+// ObsStage summarizes one stage histogram from the instrumented run.
+type ObsStage struct {
+	Stage  string
+	Count  uint64
+	MeanNS int64
+	P50NS  int64
+	P95NS  int64
+}
+
+// ObsResult is the instrumentation-overhead measurement.
+type ObsResult struct {
+	Rows  int // rows streamed and verified per iteration
+	Iters int // timed iterations per side
+
+	// Best (minimum) nanoseconds per streamed+verified query — the
+	// headline comparison.
+	EnabledNS  int64
+	DisabledNS int64
+	// Median nanoseconds per side, reported as the noise floor.
+	EnabledMedianNS  int64
+	DisabledMedianNS int64
+	// OverheadPct = (min enabled - min disabled) / min disabled * 100.
+	// Negative values mean the difference drowned in scheduler noise.
+	OverheadPct float64
+
+	// Stages are the server-side histograms the enabled run populated,
+	// proving the timers fired on the measured path.
+	Stages []ObsStage
+}
+
+// Obs runs the overhead experiment (vcbench -exp obs).
+func (e *Env) Obs() (*ObsResult, error) {
+	n := e.scale(4096)
+	h := hashx.New()
+	sr, _, err := e.buildUniform(h, n, 64, 2, 77)
+	if err != nil {
+		return nil, err
+	}
+	role := accessctl.Role{Name: "all"}
+	mk := func(reg *obs.Registry) (*server.Server, error) {
+		s := server.New(server.Config{
+			Hasher: h,
+			Pub:    e.Key.Public(),
+			Policy: accessctl.NewPolicy(role),
+			Obs:    reg,
+		})
+		if err := s.AddRelation(sr, false); err != nil {
+			return nil, err
+		}
+		return s, nil
+	}
+	on, err := mk(nil) // nil -> fresh enabled registry
+	if err != nil {
+		return nil, err
+	}
+	defer on.Close()
+	off, err := mk(obs.Disabled())
+	if err != nil {
+		return nil, err
+	}
+	defer off.Close()
+
+	v := verify.New(h, e.Key.Public(), sr.Params, sr.Schema)
+	q, err := greaterThanQuery(sr, sr.Schema.Name, n/8)
+	if err != nil {
+		return nil, err
+	}
+	wantRows := n / 8
+
+	runOnce := func(s *server.Server) (time.Duration, error) {
+		start := time.Now()
+		st, err := s.QueryStream("all", q, 64)
+		if err != nil {
+			return 0, err
+		}
+		sv := v.NewStreamVerifier(q, role)
+		rows := 0
+		for {
+			c, err := st.Next()
+			if err == io.EOF {
+				break
+			}
+			if err != nil {
+				return 0, err
+			}
+			released, err := sv.Consume(c)
+			if err != nil {
+				return 0, err
+			}
+			rows += len(released)
+		}
+		if err := sv.Finish(); err != nil {
+			return 0, err
+		}
+		if rows != wantRows {
+			return 0, fmt.Errorf("experiments: streamed %d rows, want %d", rows, wantRows)
+		}
+		return time.Since(start), nil
+	}
+
+	iters := 41
+	if e.Short {
+		iters = 9
+	}
+	// Warm both sides (page cache, signature caches) outside the clock.
+	for i := 0; i < 3; i++ {
+		if _, err := runOnce(on); err != nil {
+			return nil, err
+		}
+		if _, err := runOnce(off); err != nil {
+			return nil, err
+		}
+	}
+	enabled := make([]time.Duration, 0, iters)
+	disabled := make([]time.Duration, 0, iters)
+	for i := 0; i < iters; i++ {
+		// Alternate which side goes first so per-pair drift (frequency
+		// scaling, GC debt from the previous iteration) cancels out.
+		first, second := off, on
+		if i%2 == 1 {
+			first, second = on, off
+		}
+		d1, err := runOnce(first)
+		if err != nil {
+			return nil, err
+		}
+		d2, err := runOnce(second)
+		if err != nil {
+			return nil, err
+		}
+		if first == off {
+			disabled, enabled = append(disabled, d1), append(enabled, d2)
+		} else {
+			enabled, disabled = append(enabled, d1), append(disabled, d2)
+		}
+	}
+	en, dis := fastest(enabled), fastest(disabled)
+	res := &ObsResult{
+		Rows:             wantRows,
+		Iters:            iters,
+		EnabledNS:        int64(en),
+		DisabledNS:       int64(dis),
+		EnabledMedianNS:  int64(median(enabled)),
+		DisabledMedianNS: int64(median(disabled)),
+		OverheadPct:      float64(en-dis) / float64(dis) * 100,
+	}
+	snap := on.Obs().Snapshot()
+	names := make([]string, 0, len(snap))
+	for name, s := range snap {
+		if s.Count() > 0 {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		s := snap[name]
+		res.Stages = append(res.Stages, ObsStage{
+			Stage:  name,
+			Count:  s.Count(),
+			MeanNS: int64(s.Mean()),
+			P50NS:  int64(s.Quantile(0.5)),
+			P95NS:  int64(s.Quantile(0.95)),
+		})
+	}
+	return res, nil
+}
+
+// median returns the middle element (odd lengths; even lengths take the
+// lower middle — close enough for a latency summary).
+func median(ds []time.Duration) time.Duration {
+	s := append([]time.Duration(nil), ds...)
+	sort.Slice(s, func(i, j int) bool { return s[i] < s[j] })
+	return s[len(s)/2]
+}
+
+// fastest returns the minimum iteration.
+func fastest(ds []time.Duration) time.Duration {
+	m := ds[0]
+	for _, d := range ds[1:] {
+		if d < m {
+			m = d
+		}
+	}
+	return m
+}
+
+// PrintObs writes the overhead measurement and the stage summary.
+func PrintObs(w io.Writer, r *ObsResult) {
+	rows := []string{
+		fmt.Sprintf("streamed+verified query, %d rows, best of %d interleaved iterations/side", r.Rows, r.Iters),
+		fmt.Sprintf("obs disabled  %12v /op   (median %v)", time.Duration(r.DisabledNS), time.Duration(r.DisabledMedianNS)),
+		fmt.Sprintf("obs enabled   %12v /op   (median %v)", time.Duration(r.EnabledNS), time.Duration(r.EnabledMedianNS)),
+		fmt.Sprintf("overhead      %+.2f%% on the best iteration", r.OverheadPct),
+	}
+	printTable(w, "E-obs: instrumentation overhead (stream + verify, in process)", rows)
+	out := make([]string, 0, len(r.Stages))
+	for _, s := range r.Stages {
+		out = append(out, fmt.Sprintf("%-28s n=%-6d mean %10s  p50 %10s  p95 %10s",
+			s.Stage, s.Count, obs.FormatNS(s.MeanNS), obs.FormatNS(s.P50NS), obs.FormatNS(s.P95NS)))
+	}
+	printTable(w, "stage histograms populated by the instrumented run", out)
+}

@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"encoding/json"
+	"expvar"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Prometheus text exposition (version 0.0.4). The format is simple
+// enough that writing it directly keeps the layer zero-dependency; the
+// scrape-and-parse tests in the consuming packages pin the output shape.
+
+// promEscape escapes a label value per the exposition format.
+func promEscape(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+	return r.Replace(v)
+}
+
+// promLabels renders sorted key=value pairs as a {...} block ("" when
+// empty).
+func promLabels(labels [][2]string) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	parts := make([]string, len(labels))
+	for i, kv := range labels {
+		parts[i] = kv[0] + `="` + promEscape(kv[1]) + `"`
+	}
+	return "{" + strings.Join(parts, ",") + "}"
+}
+
+// CounterSeries is one sample of a counter family.
+type CounterSeries struct {
+	Labels [][2]string
+	Value  float64
+}
+
+// WriteCounterFamily writes one counter family: TYPE/HELP header plus
+// every series.
+func WriteCounterFamily(w io.Writer, name, help string, series []CounterSeries) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(s.Labels), formatFloat(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteGaugeFamily writes one gauge family.
+func WriteGaugeFamily(w io.Writer, name, help string, series []CounterSeries) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name); err != nil {
+		return err
+	}
+	for _, s := range series {
+		if _, err := fmt.Fprintf(w, "%s%s %s\n", name, promLabels(s.Labels), formatFloat(s.Value)); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// HistSeries is one labeled histogram of a family.
+type HistSeries struct {
+	Labels [][2]string
+	Snap   Snapshot
+}
+
+// WriteHistogramFamily writes one histogram family in seconds, with
+// cumulative le buckets, _sum and _count per series.
+func WriteHistogramFamily(w io.Writer, name, help string, series []HistSeries) error {
+	if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name); err != nil {
+		return err
+	}
+	bounds := BucketBounds()
+	for _, s := range series {
+		var cum uint64
+		for i, b := range bounds {
+			if i < len(s.Snap.Counts) {
+				cum += s.Snap.Counts[i]
+			}
+			le := formatFloat(float64(b) / 1e9)
+			lbl := append(append([][2]string{}, s.Labels...), [2]string{"le", le})
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(lbl), cum); err != nil {
+				return err
+			}
+		}
+		cum = s.Snap.Count()
+		lbl := append(append([][2]string{}, s.Labels...), [2]string{"le", "+Inf"})
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", name, promLabels(lbl), cum); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", name, promLabels(s.Labels), formatFloat(float64(s.Snap.SumNS)/1e9)); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_count%s %d\n", name, promLabels(s.Labels), cum); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func formatFloat(f float64) string {
+	return strconv.FormatFloat(f, 'g', -1, 64)
+}
+
+// HistFamily converts a registry snapshot into a sorted histogram
+// family: registry keys become a stage label plus any extra labels
+// embedded via Labeled, and every series gains the fixed labels (e.g.
+// the scraped node's address at the coordinator).
+func HistFamily(hists map[string]Snapshot, fixed ...string) []HistSeries {
+	keys := make([]string, 0, len(hists))
+	for k := range hists {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := make([]HistSeries, 0, len(keys))
+	for _, k := range keys {
+		stage, extra := SplitName(k)
+		labels := [][2]string{{"stage", stage}}
+		for i := 0; i+1 < len(fixed); i += 2 {
+			labels = append(labels, [2]string{fixed[i], fixed[i+1]})
+		}
+		labels = append(labels, extra...)
+		out = append(out, HistSeries{Labels: labels, Snap: hists[k]})
+	}
+	return out
+}
+
+// MergeAll folds a set of snapshots (e.g. one registry's worth from each
+// scraped node) into per-stage cluster aggregates, dropping embedded
+// labels so every node's "substream|node=..." series merge into one
+// "substream" total.
+func MergeAll(sets ...map[string]Snapshot) map[string]Snapshot {
+	out := make(map[string]Snapshot)
+	for _, set := range sets {
+		for k, s := range set {
+			stage, _ := SplitName(k)
+			out[stage] = out[stage].Merge(s)
+		}
+	}
+	return out
+}
+
+// Export is the machine-readable snapshot a process serves at
+// /metrics.json and a coordinator scrapes for cluster aggregation.
+type Export struct {
+	// Role identifies the process flavor: server, node, coordinator.
+	Role string
+	// BoundsNS echoes the bucket geometry so a reader can sanity-check
+	// mergeability.
+	BoundsNS []int64
+	Hists    map[string]Snapshot
+	// Counters carries the flat counters alongside (queries, errors...).
+	Counters map[string]uint64
+}
+
+// WriteExport serves an Export as JSON.
+func WriteExport(w http.ResponseWriter, e Export) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(e)
+}
+
+// DecodeExport parses a scraped /metrics.json body.
+func DecodeExport(r io.Reader) (Export, error) {
+	var e Export
+	if err := json.NewDecoder(r).Decode(&e); err != nil {
+		return Export{}, fmt.Errorf("obs: decode export: %w", err)
+	}
+	return e, nil
+}
+
+// SlowLogHandler serves the slow-query log as JSON, newest first.
+// ?threshold=250ms adjusts the retention threshold live.
+func SlowLogHandler(l *SlowLog) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		if th := r.URL.Query().Get("threshold"); th != "" {
+			d, err := parseDuration(th)
+			if err != nil {
+				http.Error(w, "bad threshold: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			l.SetThreshold(d)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(struct {
+			ThresholdNS int64
+			Entries     []SlowEntry
+		}{int64(l.Threshold()), l.Entries()})
+	}
+}
+
+func parseDuration(s string) (d time.Duration, err error) {
+	return time.ParseDuration(s)
+}
+
+// RegisterDebug mounts the standard debug surface on a mux: expvar at
+// /debug/vars, pprof under /debug/pprof/, and the slow log at
+// /debug/slowlog when one is supplied. Every serving mode (server, node,
+// coordinator) calls this so the debug surface is uniform; vcserve
+// -debug-addr serves the same mux on a separate listener for deployments
+// that keep diagnostics off the query port.
+func RegisterDebug(mux *http.ServeMux, slow *SlowLog) {
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if slow != nil {
+		mux.Handle("/debug/slowlog", SlowLogHandler(slow))
+	}
+}
+
+// DebugMux returns a standalone debug mux (for -debug-addr).
+func DebugMux(slow *SlowLog) *http.ServeMux {
+	mux := http.NewServeMux()
+	RegisterDebug(mux, slow)
+	return mux
+}

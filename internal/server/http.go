@@ -4,7 +4,6 @@ import (
 	"context"
 	"encoding/gob"
 	"encoding/json"
-	"expvar"
 	"fmt"
 	"io"
 	"net"
@@ -14,6 +13,7 @@ import (
 
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
+	"vcqr/internal/obs"
 	"vcqr/internal/wire"
 )
 
@@ -24,9 +24,11 @@ import (
 //	POST /stream      gob wire.StreamRequest -> length-prefixed chunk frames
 //	                  (chunked transfer encoding, flushed per chunk)
 //	POST /delta       gob delta.Delta        -> gob wire.DeltaResponse
-//	GET  /healthz     "ok"
-//	GET  /statsz      JSON Stats snapshot
-//	GET  /debug/vars  expvar (includes the vcqr_server aggregate)
+//	GET  /healthz      "ok"
+//	GET  /statsz       JSON Stats snapshot
+//	GET  /metrics      Prometheus text exposition (counters + stage histograms)
+//	GET  /metrics.json obs.Export snapshot (scraped by a cluster coordinator)
+//	GET  /debug/...    expvar, pprof, slow-query log (obs.RegisterDebug)
 //
 // All integrity still comes from the VOs — nothing here is trusted by
 // clients, so the transport needs no hardening beyond basic hygiene.
@@ -83,11 +85,83 @@ func (s *Server) Handler() http.Handler {
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(s.Stats())
 	})
-	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/metrics.json", s.handleMetricsJSON)
+	obs.RegisterDebug(mux, s.obs.Slow)
 	// Node-mode endpoints (shard hosting behind a cluster coordinator);
 	// inert until a coordinator installs a slice.
 	s.nodeHandlers(mux)
 	return mux
+}
+
+// obsRole reports the Export role: a server that hosts shard slices for
+// a coordinator is a node, otherwise a standalone server.
+func (s *Server) obsRole() string {
+	if len(s.nodeStats()) > 0 {
+		return "node"
+	}
+	return "server"
+}
+
+// obsCounters flattens the Stats counters for /metrics and /metrics.json.
+func (s *Server) obsCounters(st Stats) map[string]uint64 {
+	return map[string]uint64{
+		"queries":        st.Queries,
+		"batches":        st.Batches,
+		"deltas_applied": st.DeltasApplied,
+		"errors":         st.Errors,
+		"streams":        st.Streams,
+		"stream_chunks":  st.StreamChunks,
+		"stream_bytes":   st.StreamBytes,
+		"shard_streams":  st.ShardStreams,
+		"cache_hits":     st.Cache.Hits,
+		"cache_misses":   st.Cache.Misses,
+	}
+}
+
+// handleMetrics serves the Prometheus text exposition: the flat serving
+// counters plus one vcqr_stage_seconds histogram series per recorded
+// stage. Everything here is advisory operational data — the verified
+// material never depends on it.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	role := s.obsRole()
+	for _, c := range []struct {
+		name, help string
+		v          uint64
+	}{
+		{"vcqr_queries_total", "Point queries served.", st.Queries},
+		{"vcqr_batches_total", "Batch requests served.", st.Batches},
+		{"vcqr_streams_total", "Streamed queries served.", st.Streams},
+		{"vcqr_stream_chunks_total", "Stream chunk frames shipped.", st.StreamChunks},
+		{"vcqr_stream_bytes_total", "Stream frame bytes shipped.", st.StreamBytes},
+		{"vcqr_deltas_applied_total", "Deltas applied.", st.DeltasApplied},
+		{"vcqr_errors_total", "Serving errors.", st.Errors},
+		{"vcqr_shard_streams_total", "Fan-out sub-streams served (node mode).", st.ShardStreams},
+		{"vcqr_cache_hits_total", "VO cache hits.", st.Cache.Hits},
+		{"vcqr_cache_misses_total", "VO cache misses.", st.Cache.Misses},
+	} {
+		obs.WriteCounterFamily(w, c.name, c.help,
+			[]obs.CounterSeries{{Labels: [][2]string{{"role", role}}, Value: float64(c.v)}})
+	}
+	obs.WriteGaugeFamily(w, "vcqr_epoch", "Current publication epoch.",
+		[]obs.CounterSeries{{Labels: [][2]string{{"role", role}}, Value: float64(st.Epoch)}})
+	obs.WriteHistogramFamily(w, "vcqr_stage_seconds",
+		"Per-stage serving latency (seconds).",
+		obs.HistFamily(s.obs.Snapshot(), "role", role))
+}
+
+// handleMetricsJSON serves the machine-readable obs.Export a coordinator
+// scrapes and merges into cluster aggregates.
+func (s *Server) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
+	st := s.Stats()
+	obs.WriteExport(w, obs.Export{
+		Role:     s.obsRole(),
+		BoundsNS: obs.BucketBounds(),
+		Hists:    s.obs.Snapshot(),
+		Counters: s.obsCounters(st),
+	})
 }
 
 // handleStream serves one query as length-prefixed chunk frames over
@@ -107,6 +181,9 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
+	// Span covers the whole request; the trace ID is the client's when it
+	// sent one (a coordinator fan-out does), freshly minted otherwise.
+	sp := obs.StartSpan(req.Trace)
 	// wire.WriteStream serializes each chunk before pulling the next, so
 	// the stream can recycle its chunk buffers — the allocation-bounded
 	// serving loop.
@@ -118,11 +195,33 @@ func (s *Server) handleStream(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	cw := &chunkCountingWriter{w: w, srv: s}
-	if err := wire.WriteStream(cw, st); err != nil {
+	werr := wire.WriteStream(cw, st)
+	if werr != nil {
 		// Mid-stream failure: WriteStream already shipped a ChunkError
 		// frame when it could; the client's verifier rejects regardless.
 		s.errors.Add(1)
 	}
+	if ts, ok := st.(*timedStream); ok {
+		total, assemble, encode := ts.breakdown()
+		// Assembly is timed inside the stream (per-Next); the remainder of
+		// the drain is gob encode + flush — the wire_encode share.
+		s.hWire.Observe(encode)
+		sp.Add(obs.StageStreamTotal, total)
+		sp.Add(obs.StageVOAssemble, assemble)
+		sp.Add(obs.StageWireEncode, encode)
+	}
+	if werr == nil && req.Timing {
+		// Advisory timing trailer AFTER the footer, sent only because this
+		// client explicitly asked: byte-identity consumers never set
+		// req.Timing, and the client transport (wire.QueryStreamWith) strips
+		// the frame before the verifier sees it.
+		tc := &engine.Chunk{Type: engine.ChunkTiming, Trace: sp.Trace, Timing: sp.Stages()}
+		if err := wire.WriteChunkFrame(cw, tc); err == nil {
+			cw.Flush()
+		}
+	}
+	s.obs.Slow.Finish(sp, "stream",
+		fmt.Sprintf("role=%s relation=%s", req.Role, req.Query.Relation))
 }
 
 // chunkCountingWriter forwards frames to the HTTP response, flushing and

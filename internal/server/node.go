@@ -8,6 +8,7 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"encoding/gob"
 
@@ -15,6 +16,7 @@ import (
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/partition"
 	"vcqr/internal/relation"
 	"vcqr/internal/wire"
@@ -339,6 +341,18 @@ func (s *Server) WriteShardTo(w io.Writer, ref wire.ShardRef) error {
 // pinned for the stream's whole lifetime, exactly like a user-facing
 // stream.
 func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStreamRequest) error {
+	// The span carries the coordinator's trace ID (advisory, propagated in
+	// an optional wire field) so one trace stitches the fan-out together
+	// across processes; assembleNS isolates chunk-building time from the
+	// write/flush share.
+	span := obs.StartSpan(req.Trace)
+	var assembleNS int64
+	defer func() {
+		span.AddNS(obs.StageVOAssemble, assembleNS)
+		s.obs.Hist(obs.StageSubStream).ObserveSince(span.Start())
+		s.obs.Slow.Finish(span, "substream",
+			fmt.Sprintf("relation=%s shard=%d", req.Query.Relation, req.Shard))
+	}()
 	ref := wire.ShardRef{Relation: req.Query.Relation, Shard: req.Shard}
 	nt, sl, epoch, err := s.viewHosted(ref)
 	if err != nil {
@@ -351,7 +365,9 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 		writeNodeErr(w, flush, err)
 		return err
 	}
+	t0 := time.Now()
 	head, err := sp.Head()
+	assembleNS += int64(time.Since(t0))
 	if err != nil {
 		writeNodeErr(w, flush, err)
 		return err
@@ -368,7 +384,9 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 	}
 	flush()
 	for {
+		tn := time.Now()
 		c, err := sp.Next()
+		assembleNS += int64(time.Since(tn))
 		if err == io.EOF {
 			break
 		}
@@ -381,7 +399,9 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 		}
 		flush()
 	}
+	t0 = time.Now()
 	foot, err := sp.Foot()
+	assembleNS += int64(time.Since(t0))
 	if err != nil {
 		writeNodeErr(w, flush, err)
 		return err
@@ -389,6 +409,12 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 	nf := wire.NodeFoot{
 		Entries: foot.Entries, Partial: foot.Partial,
 		Right: foot.Right, PredSig: foot.PredSig, PredPrevG: foot.PredPrevG, NeedPrevG: foot.NeedPrevG,
+		// Advisory per-stage breakdown, outside every digest and signature:
+		// the coordinator folds it into its trace and /metrics aggregate.
+		Timing: []obs.StageDur{
+			{Stage: obs.StageSubStream, NS: int64(span.Elapsed())},
+			{Stage: obs.StageVOAssemble, NS: assembleNS},
+		},
 	}
 	if err := wire.WriteNodeFrame(w, &wire.NodeFrame{Foot: &nf}); err != nil {
 		return err

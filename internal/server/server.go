@@ -29,15 +29,18 @@ package server
 import (
 	"expvar"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 )
 
@@ -52,6 +55,13 @@ type Config struct {
 	// Individual switches the executor to one-signature-per-entry VOs
 	// (the pre-Section-5.2 mode); default is condensed signatures.
 	Individual bool
+	// Obs is the stage-latency registry (internal/obs). Nil creates a
+	// fresh enabled registry; pass obs.Disabled() to serve with
+	// instrumentation off (the baseline of vcbench -exp obs).
+	Obs *obs.Registry
+	// SlowThreshold sets the slow-query log's retention threshold: 0
+	// keeps the obs default (100ms), negative disables the log.
+	SlowThreshold time.Duration
 }
 
 // DefaultCacheSize is the VO-cache bound when Config.CacheSize is 0.
@@ -83,6 +93,17 @@ type Server struct {
 	queries, batches, deltasApplied, errors atomic.Uint64
 	streams, streamChunks, streamBytes      atomic.Uint64
 	shardStreams                            atomic.Uint64
+
+	// obs is the stage-latency registry; the h* fields are its hot-path
+	// histograms, resolved once (nil when the registry is disabled).
+	obs     *obs.Registry
+	hCache  *obs.Histogram // cache_lookup
+	hVO     *obs.Histogram // vo_assemble
+	hQuery  *obs.Histogram // query_total
+	hChunk  *obs.Histogram // stream_chunk
+	hStream *obs.Histogram // stream_total
+	hWire   *obs.Histogram // wire_encode
+	hDelta  *obs.Histogram // delta_apply
 }
 
 // New creates a server. The executor publisher carries no relations of
@@ -98,6 +119,14 @@ func New(cfg Config) *Server {
 	}
 	exec := engine.NewPublisher(cfg.Hasher, cfg.Pub, cfg.Policy)
 	exec.Aggregate = !cfg.Individual
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.NewRegistry()
+	}
+	if cfg.SlowThreshold != 0 {
+		reg.Slow.SetThreshold(cfg.SlowThreshold)
+	}
+	exec.Obs = reg
 	s := &Server{
 		h:        cfg.Hasher,
 		pub:      cfg.Pub,
@@ -107,10 +136,22 @@ func New(cfg Config) *Server {
 		cache:    newVOCache(size),
 		parts:    map[string]*partTable{},
 		nodeRels: map[string]*nodeTable{},
+		obs:      reg,
+		hCache:   reg.Hist(obs.StageCacheLookup),
+		hVO:      reg.Hist(obs.StageVOAssemble),
+		hQuery:   reg.Hist(obs.StageQueryTotal),
+		hChunk:   reg.Hist(obs.StageStreamChunk),
+		hStream:  reg.Hist(obs.StageStreamTotal),
+		hWire:    reg.Hist(obs.StageWireEncode),
+		hDelta:   reg.Hist(obs.StageDeltaApply),
 	}
 	register(s)
 	return s
 }
+
+// Obs exposes the server's stage-latency registry (for the /metrics
+// handlers, vcquery's verifier wiring, and tests).
+func (s *Server) Obs() *obs.Registry { return s.obs }
 
 // Close unregisters the server from the process-wide expvar aggregate.
 func (s *Server) Close() { unregister(s) }
@@ -134,6 +175,11 @@ func (s *Server) AddRelation(sr *core.SignedRelation, validate bool) error {
 // the pre-delta snapshot, later ones see the post-delta epoch, and both
 // produce VOs that verify.
 func (s *Server) ApplyDelta(d delta.Delta) (uint64, error) {
+	sp := obs.StartSpan("")
+	defer func() {
+		s.hDelta.Observe(sp.Elapsed())
+		s.obs.Slow.Finish(sp, "delta", fmt.Sprintf("relation=%s ops=%d", d.Relation, len(d.Ops)))
+	}()
 	var epoch uint64
 	var err error
 	if pt := s.partFor(d.Relation); pt != nil {
@@ -154,6 +200,11 @@ func (s *Server) ApplyDelta(d delta.Delta) (uint64, error) {
 // before.
 func (s *Server) Query(role string, q engine.Query) (*engine.Result, error) {
 	s.queries.Add(1)
+	sp := obs.StartSpan("")
+	defer func() {
+		s.hQuery.Observe(sp.Elapsed())
+		s.obs.Slow.Finish(sp, "query", fmt.Sprintf("role=%s relation=%s", role, q.Relation))
+	}()
 	if pt := s.partFor(q.Relation); pt != nil {
 		return s.queryPartitioned(pt, role, q)
 	}
@@ -169,10 +220,15 @@ func (s *Server) Query(role string, q engine.Query) (*engine.Result, error) {
 // the VO cache.
 func (s *Server) queryOn(sr *core.SignedRelation, epoch uint64, role string, q engine.Query) (*engine.Result, error) {
 	key := cacheKey(epoch, role, q)
-	if res, ok := s.cache.Get(key); ok {
+	t0 := time.Now()
+	res, ok := s.cache.Get(key)
+	s.hCache.ObserveSince(t0)
+	if ok {
 		return res, nil
 	}
+	t0 = time.Now()
 	res, err := s.exec.ExecuteOn(sr, role, q)
+	s.hVO.ObserveSince(t0)
 	if err != nil {
 		s.errors.Add(1)
 		return nil, err
@@ -211,7 +267,7 @@ func (s *Server) QueryStreamOpts(role string, q engine.Query, opts engine.Stream
 			s.errors.Add(1)
 			return nil, err
 		}
-		return st, nil
+		return s.timed(st), nil
 	}
 	sr, _, ok := s.store.View(q.Relation)
 	if !ok {
@@ -223,7 +279,59 @@ func (s *Server) QueryStreamOpts(role string, q engine.Query, opts engine.Stream
 		s.errors.Add(1)
 		return nil, err
 	}
-	return st, nil
+	return s.timed(st), nil
+}
+
+// timed wraps a result stream so per-chunk assembly and whole-stream
+// drain latency land in the registry. The wrapper changes no chunk
+// bytes; it forwards Close so abandoning consumers still release
+// fan-out workers.
+func (s *Server) timed(st engine.ResultStream) *timedStream {
+	return &timedStream{st: st, hChunk: s.hChunk, hTotal: s.hStream, start: time.Now()}
+}
+
+// timedStream decorates a ResultStream with stage timing: every Next is
+// one stream_chunk observation (VO/stream assembly), and the terminal
+// Next (io.EOF or error) closes the stream_total observation.
+type timedStream struct {
+	st             engine.ResultStream
+	hChunk, hTotal *obs.Histogram
+	start          time.Time
+	assembleNS     int64
+	finished       bool
+}
+
+func (t *timedStream) Next() (*engine.Chunk, error) {
+	t0 := time.Now()
+	c, err := t.st.Next()
+	d := time.Since(t0)
+	t.hChunk.Observe(d)
+	t.assembleNS += int64(d)
+	if err != nil && !t.finished {
+		t.finished = true
+		t.hTotal.ObserveSince(t.start)
+	}
+	return c, err
+}
+
+// Close forwards to the underlying stream (fan-out worker release).
+func (t *timedStream) Close() error {
+	if c, ok := t.st.(io.Closer); ok {
+		return c.Close()
+	}
+	return nil
+}
+
+// breakdown reports the drain's stage split for timing trailers and the
+// slow-query log: total wall time, assembly share, and the remainder
+// (frame encode + flush + client backpressure on the serving path).
+func (t *timedStream) breakdown() (total, assemble, remainder time.Duration) {
+	total = time.Since(t.start)
+	assemble = time.Duration(t.assembleNS)
+	if total > assemble {
+		remainder = total - assemble
+	}
+	return total, assemble, remainder
 }
 
 // accountStreamChunk records one shipped chunk frame in the stats.
@@ -247,28 +355,35 @@ type pinned struct {
 // nil exactly when errs[i] is non-nil.
 func (s *Server) QueryBatch(role string, qs []engine.Query) ([]*engine.Result, []error) {
 	s.batches.Add(1)
+	sp := obs.StartSpan("")
+	defer func() {
+		s.obs.Slow.Finish(sp, "batch", fmt.Sprintf("role=%s queries=%d", role, len(qs)))
+	}()
 	results := make([]*engine.Result, len(qs))
 	errs := make([]error, len(qs))
 	pins := map[string]pinned{}
 	for i, q := range qs {
 		s.queries.Add(1)
-		if pt := s.partFor(q.Relation); pt != nil {
-			// Partitioned relations pin per item; single-shard items
-			// still hit the per-shard VO cache.
-			results[i], errs[i] = s.queryPartitioned(pt, role, q)
-			continue
-		}
-		pin, seen := pins[q.Relation]
-		if !seen {
-			pin.sr, pin.epoch, pin.ok = s.store.View(q.Relation)
-			pins[q.Relation] = pin
-		}
-		if !pin.ok {
-			s.errors.Add(1)
-			errs[i] = fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
-			continue
-		}
-		results[i], errs[i] = s.queryOn(pin.sr, pin.epoch, role, q)
+		func() {
+			defer s.hQuery.ObserveSince(time.Now())
+			if pt := s.partFor(q.Relation); pt != nil {
+				// Partitioned relations pin per item; single-shard items
+				// still hit the per-shard VO cache.
+				results[i], errs[i] = s.queryPartitioned(pt, role, q)
+				return
+			}
+			pin, seen := pins[q.Relation]
+			if !seen {
+				pin.sr, pin.epoch, pin.ok = s.store.View(q.Relation)
+				pins[q.Relation] = pin
+			}
+			if !pin.ok {
+				s.errors.Add(1)
+				errs[i] = fmt.Errorf("%w: %q", engine.ErrUnknownRelation, q.Relation)
+				return
+			}
+			results[i], errs[i] = s.queryOn(pin.sr, pin.epoch, role, q)
+		}()
 	}
 	return results, errs
 }
@@ -362,6 +477,9 @@ func register(s *Server) {
 				agg.Streams += st.Streams
 				agg.StreamChunks += st.StreamChunks
 				agg.StreamBytes += st.StreamBytes
+				// Node-mode servers count fan-out sub-streams; folding them
+				// in keeps the aggregate meaningful for every serving mode.
+				agg.ShardStreams += st.ShardStreams
 				agg.Cache.Hits += st.Cache.Hits
 				agg.Cache.Misses += st.Cache.Misses
 				agg.Cache.Evictions += st.Cache.Evictions

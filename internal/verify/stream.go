@@ -3,11 +3,13 @@ package verify
 import (
 	"errors"
 	"fmt"
+	"time"
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/core"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/sig"
 )
 
@@ -52,6 +54,10 @@ type StreamVerifier struct {
 	individual bool
 	agg        *sig.AggVerifier
 
+	// hVerify records per-chunk verification cost when the parent
+	// Verifier carries an obs registry; nil otherwise.
+	hVerify *obs.Histogram
+
 	rows []engine.Row // rows released by the current Consume call
 	err  error        // sticky: first failure is terminal for the stream
 }
@@ -78,7 +84,8 @@ var (
 // q and role are the user's own query and rights, checked against the
 // publisher's claimed rewrite exactly as in VerifyResult.
 func (v *Verifier) NewStreamVerifier(q engine.Query, role accessctl.Role) *StreamVerifier {
-	return &StreamVerifier{v: v, q: q, role: role, agg: v.Pub.NewAggVerifier()}
+	return &StreamVerifier{v: v, q: q, role: role, agg: v.Pub.NewAggVerifier(),
+		hVerify: v.Obs.Hist(obs.StageVerify)}
 }
 
 // Done reports whether the footer has been consumed successfully.
@@ -102,6 +109,11 @@ func (sv *StreamVerifier) Finish() error {
 // (one entry of lookahead), so the final rows of a stream arrive with the
 // footer. Any error is terminal for the stream.
 func (sv *StreamVerifier) Consume(c *engine.Chunk) ([]engine.Row, error) {
+	if sv.hVerify != nil {
+		// Deferred-arg idiom: time.Now() is evaluated here, the record at
+		// return — one observation per consumed chunk.
+		defer sv.hVerify.ObserveSince(time.Now())
+	}
 	if err := sv.consume(c); err != nil {
 		sv.err = err // latch: a rejected chunk cannot be retried or replaced
 		return nil, err

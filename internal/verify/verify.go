@@ -19,6 +19,7 @@ import (
 	"vcqr/internal/core"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/relation"
 	"vcqr/internal/sig"
 )
@@ -46,6 +47,11 @@ type Verifier struct {
 	Pub    *sig.PublicKey
 	Params core.Params
 	Schema relation.Schema
+
+	// Obs, when set, receives the verifier-side cost (obs.StageVerify,
+	// one observation per consumed chunk) — the live measurement of the
+	// paper's client overhead claim. It never affects what is accepted.
+	Obs *obs.Registry
 }
 
 // New constructs a verifier.

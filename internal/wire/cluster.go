@@ -14,6 +14,7 @@ import (
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
+	"vcqr/internal/obs"
 	"vcqr/internal/partition"
 	"vcqr/internal/relation"
 	"vcqr/internal/sig"
@@ -123,6 +124,12 @@ type ShardStreamRequest struct {
 	// RoutingEpoch is the coordinator's routing-table version when it
 	// issued the request; echoed in errors for operator diagnostics.
 	RoutingEpoch uint64
+	// Trace is the coordinator-minted trace ID, propagated so the node's
+	// slow-query log and sub-stream timing carry the same ID as the
+	// coordinator's span. Optional: old nodes decode requests without it
+	// unchanged (gob skips unknown fields) and simply don't echo timing.
+	// Advisory only — never part of the verified material.
+	Trace string
 }
 
 // NodeHello is the first frame of a shard sub-stream: the pinned slice's
@@ -146,6 +153,13 @@ type NodeFoot struct {
 	PredSig   sig.Signature
 	PredPrevG hashx.Digest
 	NeedPrevG bool
+
+	// Timing is the node's advisory per-stage breakdown for this
+	// sub-stream (assembly, agg-index lookups...), echoed so the
+	// coordinator can attribute a slow merged stream to the node at
+	// fault. Optional wire field, outside every digest and signature —
+	// the seam material above it is what hand-off checks compare.
+	Timing []obs.StageDur
 }
 
 // NodeFrame is one frame of a shard sub-stream: exactly one field set.
@@ -511,6 +525,26 @@ func (c *Client) postGob(path string, req, resp any) error {
 		return fmt.Errorf("wire: decode %s response: %w", path, err)
 	}
 	return nil
+}
+
+// ObsExport scrapes a peer's /metrics.json histogram snapshot — the
+// coordinator uses it to fold node-level latency into its cluster-wide
+// /metrics aggregate. The data is advisory monitoring state; a node that
+// lies here can only corrupt dashboards, never results.
+func (c *Client) ObsExport() (obs.Export, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	resp, err := httpc.Get(c.BaseURL + "/metrics.json")
+	if err != nil {
+		return obs.Export{}, fmt.Errorf("wire: get metrics: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return obs.Export{}, fmt.Errorf("wire: node returned %s on /metrics.json", resp.Status)
+	}
+	return obs.DecodeExport(io.LimitReader(resp.Body, 8<<20))
 }
 
 // ShardEdges fetches a hosted slice's seam material.

@@ -1,0 +1,154 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/gob"
+	"testing"
+
+	"vcqr/internal/engine"
+	"vcqr/internal/obs"
+)
+
+// These tests pin the wire-compatibility claim of the tracing fields:
+// they are *optional* gob struct fields, so a peer built before this
+// change decodes the new encodings unchanged (gob drops fields the
+// receiver lacks) and a new peer decodes old encodings with the fields
+// zero. The "old" shapes below are literal copies of the structs as they
+// existed before the trace fields landed.
+
+// oldStreamRequest is StreamRequest before Trace/Timing.
+type oldStreamRequest struct {
+	Role      string
+	Query     engine.Query
+	ChunkRows int
+}
+
+// oldShardStreamRequest is ShardStreamRequest before Trace.
+type oldShardStreamRequest struct {
+	Role         string
+	Query        engine.Query
+	Shard        int
+	Lo, Hi       uint64
+	First, Last  bool
+	ChunkRows    int
+	RoutingEpoch uint64
+}
+
+func gobRoundTrip(t *testing.T, in, out any) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(in); err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	if err := gob.NewDecoder(&buf).Decode(out); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+}
+
+func TestOldReaderSkipsStreamRequestTrace(t *testing.T) {
+	in := StreamRequest{
+		Role: "all", Query: engine.Query{Relation: "r", KeyLo: 5, KeyHi: 9},
+		ChunkRows: 64, Trace: "deadbeefdeadbeef", Timing: true,
+	}
+	var old oldStreamRequest
+	gobRoundTrip(t, in, &old)
+	if old.Role != "all" || old.Query.Relation != "r" || old.Query.KeyLo != 5 || old.ChunkRows != 64 {
+		t.Fatalf("old reader lost pre-existing fields: %+v", old)
+	}
+}
+
+func TestNewReaderAcceptsOldStreamRequest(t *testing.T) {
+	in := oldStreamRequest{Role: "all", Query: engine.Query{Relation: "r", KeyHi: 7}, ChunkRows: 32}
+	var cur StreamRequest
+	gobRoundTrip(t, in, &cur)
+	if cur.Role != "all" || cur.Query.KeyHi != 7 || cur.ChunkRows != 32 {
+		t.Fatalf("new reader lost fields from old encoding: %+v", cur)
+	}
+	if cur.Trace != "" || cur.Timing {
+		t.Fatalf("absent optional fields must decode to zero, got %+v", cur)
+	}
+}
+
+func TestOldReaderSkipsShardStreamRequestTrace(t *testing.T) {
+	in := ShardStreamRequest{
+		Role: "all", Query: engine.Query{Relation: "r"},
+		Shard: 2, Lo: 10, Hi: 20, First: true, ChunkRows: 16,
+		RoutingEpoch: 3, Trace: "0123456789abcdef",
+	}
+	var old oldShardStreamRequest
+	gobRoundTrip(t, in, &old)
+	if old.Shard != 2 || old.Lo != 10 || old.Hi != 20 || !old.First || old.RoutingEpoch != 3 {
+		t.Fatalf("old reader lost pre-existing fields: %+v", old)
+	}
+	var cur ShardStreamRequest
+	gobRoundTrip(t, old, &cur)
+	if cur.Trace != "" {
+		t.Fatalf("absent Trace must decode empty, got %q", cur.Trace)
+	}
+	if cur.Shard != 2 || cur.RoutingEpoch != 3 {
+		t.Fatalf("new reader lost fields: %+v", cur)
+	}
+}
+
+func TestTimingTrailerFrameRoundTrip(t *testing.T) {
+	in := &engine.Chunk{
+		Type:  engine.ChunkTiming,
+		Trace: "feedfacefeedface",
+		Timing: []obs.StageDur{
+			{Stage: obs.StageStreamTotal, NS: 123456},
+			{Stage: obs.StageWireEncode, NS: 789},
+		},
+	}
+	var buf bytes.Buffer
+	if err := WriteChunkFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	out, err := ReadChunkFrame(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != engine.ChunkTiming || out.Trace != in.Trace || len(out.Timing) != 2 ||
+		out.Timing[0] != in.Timing[0] || out.Timing[1] != in.Timing[1] {
+		t.Fatalf("trailer round trip mismatch: %+v", out)
+	}
+	// An old-shaped chunk reader (no Trace/Timing fields) must decode the
+	// frame without error — the trailer degrades to an unknown-typed chunk
+	// it can ignore or reject at its own layer, never a decode failure.
+	type oldChunk struct {
+		Type engine.ChunkType
+		Seq  uint64
+		Err  string
+	}
+	buf.Reset()
+	if err := WriteChunkFrame(&buf, in); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [4]byte
+	if _, err := buf.Read(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	var old oldChunk
+	if err := gob.NewDecoder(&buf).Decode(&old); err != nil {
+		t.Fatalf("old reader failed to decode timing frame: %v", err)
+	}
+	if old.Type != engine.ChunkTiming {
+		t.Fatalf("old reader saw type %v", old.Type)
+	}
+}
+
+func TestNodeFootTimingOptional(t *testing.T) {
+	type oldNodeFoot struct {
+		Entries uint64
+	}
+	in := NodeFoot{Entries: 9, Timing: []obs.StageDur{{Stage: obs.StageVOAssemble, NS: 42}}}
+	var old oldNodeFoot
+	gobRoundTrip(t, in, &old)
+	if old.Entries != 9 {
+		t.Fatalf("old reader lost Entries: %+v", old)
+	}
+	var cur NodeFoot
+	gobRoundTrip(t, oldNodeFoot{Entries: 4}, &cur)
+	if cur.Entries != 4 || cur.Timing != nil {
+		t.Fatalf("optional Timing must decode nil: %+v", cur)
+	}
+}

@@ -13,6 +13,7 @@ import (
 
 	"vcqr/internal/accessctl"
 	"vcqr/internal/engine"
+	"vcqr/internal/obs"
 	"vcqr/internal/verify"
 )
 
@@ -116,6 +117,18 @@ type StreamRequest struct {
 	Query engine.Query
 	// ChunkRows bounds entries per chunk; 0 lets the publisher choose.
 	ChunkRows int
+
+	// Trace is an optional client-supplied trace ID; empty lets the
+	// serving entry point mint one (internal/obs). Old servers decode
+	// requests without this field untouched — gob ignores fields the
+	// receiver lacks — so tracing needs no protocol version bump. Trace
+	// IDs are advisory and never part of the verified material.
+	Trace string
+	// Timing asks the server to append an advisory engine.ChunkTiming
+	// trailer after the footer carrying the per-stage latency breakdown.
+	// Old servers ignore the field and send no trailer; old clients never
+	// set it and so never see one.
+	Timing bool
 }
 
 // WriteStream drains a result stream into w as chunk frames, flushing
@@ -164,6 +177,13 @@ type StreamStats struct {
 	Bytes int64
 	// Rows counts verified rows delivered to the callback.
 	Rows int
+
+	// Trace and Timing echo the server's advisory timing trailer when the
+	// client requested one (Client.Timing); both stay zero otherwise.
+	// Neither is verified — they are operational data for vcquery -timing
+	// and friends, not evidence.
+	Trace  string
+	Timing []obs.StageDur
 }
 
 // countingReader tallies bytes as frames are read.
@@ -206,7 +226,9 @@ func (c *Client) QueryStreamWith(sv verify.ChunkVerifier, roleName string, q eng
 		httpc = http.DefaultClient
 	}
 	var body bytes.Buffer
-	if err := gob.NewEncoder(&body).Encode(StreamRequest{Role: roleName, Query: q, ChunkRows: chunkRows}); err != nil {
+	req := StreamRequest{Role: roleName, Query: q, ChunkRows: chunkRows,
+		Trace: c.Trace, Timing: c.Timing}
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
 		return stats, fmt.Errorf("wire: encode stream request: %w", err)
 	}
 	resp, err := httpc.Post(c.BaseURL+"/stream", "application/octet-stream", &body)
@@ -226,6 +248,15 @@ func (c *Client) QueryStreamWith(sv verify.ChunkVerifier, roleName string, q eng
 		}
 		if err != nil {
 			return stats, err
+		}
+		if chunk.Type == engine.ChunkTiming {
+			// Advisory trailer (sent only because this client asked):
+			// surface it in the stats, never feed it to the verifier — it
+			// is not part of the result and the verifier would reject any
+			// chunk after the footer.
+			stats.Trace = chunk.Trace
+			stats.Timing = chunk.Timing
+			continue
 		}
 		stats.Chunks++
 		stats.Bytes = cr.n

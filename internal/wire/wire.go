@@ -247,6 +247,14 @@ func Handler(pub *engine.Publisher) http.Handler {
 type Client struct {
 	BaseURL string
 	HTTP    *http.Client
+
+	// Trace, when non-empty, stamps outgoing streaming requests with a
+	// caller-chosen trace ID; empty lets the server mint one. Timing asks
+	// streaming servers for the advisory per-stage timing trailer
+	// (surfaced in StreamStats). Both are optional wire fields old
+	// servers ignore.
+	Trace  string
+	Timing bool
 }
 
 // Query sends a request and decodes the response. The result is NOT
