@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz docs smoke-cluster metrics-smoke ci
+.PHONY: all build vet test race bench fuzz docs smoke-cluster smoke-cache metrics-smoke ci
 
 all: ci
 
@@ -18,12 +18,14 @@ race:
 
 # bench runs the full paper-evaluation + serving benchmark suite and
 # refreshes the committed perf trajectories: the crypto fast path
-# (BENCH_crypto.json) and the observability overhead bound
-# (BENCH_obs.json) — the files CI uploads and future PRs diff against.
+# (BENCH_crypto.json), the observability overhead bound (BENCH_obs.json)
+# and the edge-cache speedup record (BENCH_cache.json) — the files CI
+# uploads and future PRs diff against.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/vcbench -exp crypto -out BENCH_crypto.json
 	$(GO) run ./cmd/vcbench -exp obs -out BENCH_obs.json
+	$(GO) run ./cmd/vcbench -exp cache -out BENCH_cache.json
 
 # bench-smoke is the CI-sized slice of bench: one iteration of the Go
 # benchmarks and the crypto sweep at reduced scale.
@@ -31,9 +33,11 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 	$(GO) run ./cmd/vcbench -exp crypto -short -out BENCH_crypto.json
 
-# fuzz smoke-tests the wire chunk-frame decoder.
+# fuzz smoke-tests the wire decoders: the gob chunk frames and the
+# hand-rolled binary cache frames.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadChunkFrame -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzReadCacheFrame -fuzztime 30s ./internal/wire
 
 # smoke-cluster launches 1 coordinator + 2 shard nodes as separate OS
 # processes, streams a cross-node verified query and runs one online
@@ -41,6 +45,13 @@ fuzz:
 # tier (also run by CI).
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
+
+# smoke-cache adds an untrusted edge-cache peer to the multi-process
+# cluster, repeats a verified stream query until the tier serves a
+# validated hit, and asserts the hit from both sides — the
+# verbatim-tested README "Edge caching" quickstart (also run by CI).
+smoke-cache:
+	sh scripts/cache_smoke.sh
 
 # metrics-smoke exercises every monitoring surface of a live vcserve:
 # /metrics, /metrics.json, /debug/slowlog and pprof, on the query port

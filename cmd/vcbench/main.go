@@ -21,7 +21,12 @@
 // `make bench` and CI do), "cluster" (the distributed tier over real
 // TCP: cross-node verified stream throughput vs the single-process
 // baseline, plus an online shard migration under live deltas reporting
-// copy/cutover latency and the zero-rejected-queries invariant) and
+// copy/cutover latency and the zero-rejected-queries invariant),
+// "cache" (the shared edge-cache tier: hot-range Zipf and uniform
+// verified-stream throughput against cached and bare coordinators over
+// the same shard nodes, plus a singleflight storm counting origin
+// sub-streams; -exp cache -out BENCH_cache.json writes the committed
+// machine-readable record) and
 // "obs" (what the observability layer costs: the BenchmarkStreamQuery
 // workload against obs-enabled and obs.Disabled() servers, reporting the
 // median overhead percentage — the PR bound is <=2% — and the stage
@@ -40,7 +45,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|cluster|obs|all")
+	exp := flag.String("exp", "all", "experiment to run: fig9|fig10|table1|cuser|vosize|update|ablation|attacks|precision|delta|multiorder|server|stream|shard|crypto|cluster|cache|obs|all")
 	short := flag.Bool("short", false, "reduced dataset sizes for a quick pass")
 	out := flag.String("out", "", "machine-readable output path for the crypto and obs experiments when selected by name (default: no file written; make bench and CI pass BENCH_crypto.json / BENCH_obs.json)")
 	flag.Parse()
@@ -189,6 +194,26 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintCluster(w, r)
+	}
+	if run("cache") {
+		ran = true
+		r, err := env.Cache()
+		if err != nil {
+			fatal(err)
+		}
+		experiments.PrintCache(w, r)
+		// -out is shared with crypto and obs; write only when cache was
+		// asked for by name.
+		if *out != "" && strings.EqualFold(*exp, "cache") {
+			blob, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *out)
+		}
 	}
 	if run("obs") {
 		ran = true

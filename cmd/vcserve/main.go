@@ -14,7 +14,12 @@
 //     verified merged streams, routes owner deltas, and migrates shard
 //     spans online (POST /admin/rebalance). With -adopt it rebuilds its
 //     routing table from what the nodes already host instead of loading
-//     a snapshot — the restart path.
+//     a snapshot — the restart path. With -cache-peers it consults the
+//     edge-cache tier before fanning out.
+//   - edge-cache peer (-cache-node): an untrusted, memcached-shaped
+//     byte cache (internal/cache) the coordinator fills and reads. It
+//     needs no keys and no params: anything it garbles or forges fails
+//     digest and seam checks and the query falls through to origin.
 //
 // The user-facing endpoints (/query, /batch, /stream, /delta, /healthz,
 // /statsz) are identical in single-process and coordinator modes, so
@@ -30,6 +35,9 @@
 //	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
 //	vcserve -coordinator -adopt -params params.gob \
 //	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//	vcserve -cache-node -cache-bytes 268435456 -addr :8090   # cache peer
+//	vcserve -coordinator -load emp.gob -params params.gob \
+//	    -nodes ... -cache-peers http://127.0.0.1:8090 -addr :8080
 //
 // Query it with cmd/vcquery.
 package main
@@ -48,6 +56,7 @@ import (
 	"time"
 
 	"vcqr/internal/accessctl"
+	"vcqr/internal/cache"
 	"vcqr/internal/cluster"
 	"vcqr/internal/core"
 	"vcqr/internal/hashx"
@@ -94,22 +103,58 @@ func main() {
 	cacheSize := flag.Int("cache", server.DefaultCacheSize, "VO cache entries (negative disables)")
 	nodeMode := flag.Bool("node", false, "run as a shard node awaiting coordinator installs")
 	coordMode := flag.Bool("coordinator", false, "run as a cluster coordinator over -nodes")
+	cacheMode := flag.Bool("cache-node", false, "run as an untrusted edge-cache peer (internal/cache)")
+	cacheBytes := flag.Int64("cache-bytes", 0, "cache peer byte budget (0 = default 256 MiB)")
+	cachePeers := flag.String("cache-peers", "", "comma-separated cache-peer base URLs (coordinator mode; empty disables the tier)")
 	nodesFlag := flag.String("nodes", "", "comma-separated shard-node base URLs (coordinator mode)")
 	adopt := flag.Bool("adopt", false, "coordinator mode: recover the routing table from node inventories instead of loading a snapshot")
 	flag.StringVar(&debugAddr, "debug-addr", "", "serve expvar/pprof/slowlog on a separate listener (empty = query port only)")
 	flag.DurationVar(&slowQuery, "slow-query", 0, "slow-query log retention threshold, e.g. 250ms (0 = default 100ms, negative disables)")
 	flag.Parse()
 
+	modes := 0
+	for _, m := range []bool{*nodeMode, *coordMode, *cacheMode} {
+		if m {
+			modes++
+		}
+	}
 	switch {
-	case *nodeMode && *coordMode:
-		log.Fatal("-node and -coordinator are mutually exclusive")
+	case modes > 1:
+		log.Fatal("-node, -coordinator and -cache-node are mutually exclusive")
+	case *cacheMode:
+		runCachePeer(*addr, *cacheBytes)
 	case *nodeMode:
 		runNode(*addr, *paramsPath, *cacheSize)
 	case *coordMode:
-		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *adopt)
+		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *cachePeers, *adopt)
 	default:
 		runSingle(*addr, *load, *paramsPath, *n, *seed, *shards, *cacheSize)
 	}
+}
+
+// runCachePeer starts an untrusted edge-cache peer: no keys, no params,
+// no relation state — just a byte-budgeted entry table behind the wire
+// cache protocol.
+func runCachePeer(addr string, budget int64) {
+	cs := cache.NewServer(budget)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: cs.Handler(), ReadHeaderTimeout: 10 * time.Second}
+	done := make(chan struct{})
+	var serveErr error
+	go func() {
+		if err := hs.Serve(ln); err != http.ErrServerClosed {
+			serveErr = err
+		}
+		close(done)
+	}()
+	st := cs.Store().Stats()
+	fmt.Printf("edge-cache peer on %s (budget %d bytes; untrusted, stores opaque bytes)\n", ln.Addr(), st.Budget)
+	waitAndShutdown(hs.Shutdown, func() <-chan struct{} { return done }, func() error { return serveErr })
+	st = cs.Store().Stats()
+	log.Printf("served %d hits / %d misses, %d entries resident; bye", st.Hits, st.Misses, st.Entries)
 }
 
 // policyFrom rebuilds the role policy from the distributed parameters.
@@ -147,7 +192,7 @@ func runNode(addr, paramsPath string, cacheSize int) {
 }
 
 // runCoordinator starts the cluster control plane and user-facing API.
-func runCoordinator(addr, load, paramsPath, nodesFlag string, adopt bool) {
+func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt bool) {
 	cp, err := wire.ReadClientParams(paramsPath)
 	if err != nil {
 		log.Fatal(err)
@@ -188,6 +233,16 @@ func runCoordinator(addr, load, paramsPath, nodesFlag string, adopt bool) {
 		log.Fatal("coordinator mode needs -load snapshot or -adopt")
 	}
 
+	// One registry shared by the coordinator and the cache-tier client,
+	// so cache_get/cache_fill histograms land on the same /metrics the
+	// serving stages do.
+	reg := obs.NewRegistry()
+	var cacheClient *cache.Client
+	if cachePeers != "" {
+		peers := strings.Split(cachePeers, ",")
+		cacheClient = cache.NewClient(cache.Config{Peers: peers, Obs: reg})
+		log.Printf("edge-cache tier enabled over %d peers (untrusted; entries verify or fall through)", len(peers))
+	}
 	coord, err := cluster.New(cluster.Config{
 		Hasher:        h,
 		Pub:           pub,
@@ -196,6 +251,8 @@ func runCoordinator(addr, load, paramsPath, nodesFlag string, adopt bool) {
 		Policy:        policyFrom(cp),
 		Spec:          spec,
 		Nodes:         nodes,
+		Cache:         cacheClient,
+		Obs:           reg,
 		SlowThreshold: slowQuery,
 	})
 	if err != nil {

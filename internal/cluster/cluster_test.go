@@ -59,6 +59,12 @@ type fix struct {
 }
 
 func newCluster(t *testing.T, n, k, nNodes int, hc *http.Client) *fix {
+	return newClusterCfg(t, n, k, nNodes, hc, nil)
+}
+
+// newClusterCfg is newCluster with a hook to adjust the coordinator
+// config before construction (cache tier, observability, ...).
+func newClusterCfg(t *testing.T, n, k, nNodes int, hc *http.Client, mod func(*cluster.Config)) *fix {
 	t.Helper()
 	h := hashx.New()
 	rel, err := workload.Uniform(workload.UniformConfig{
@@ -96,7 +102,7 @@ func newCluster(t *testing.T, n, k, nNodes int, hc *http.Client) *fix {
 		f.nodes = append(f.nodes, s)
 		f.urls = append(f.urls, ts.URL)
 	}
-	coord, err := cluster.New(cluster.Config{
+	cfg := cluster.Config{
 		Hasher: h,
 		Pub:    signKey(t).Public(),
 		Params: sr.Params,
@@ -105,7 +111,11 @@ func newCluster(t *testing.T, n, k, nNodes int, hc *http.Client) *fix {
 		Spec:   set.Spec,
 		Nodes:  f.urls,
 		HTTP:   hc,
-	})
+	}
+	if mod != nil {
+		mod(&cfg)
+	}
+	coord, err := cluster.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -13,6 +13,7 @@ import (
 	"time"
 
 	"vcqr/internal/accessctl"
+	"vcqr/internal/cache"
 	"vcqr/internal/core"
 	"vcqr/internal/engine"
 	"vcqr/internal/hashx"
@@ -72,6 +73,10 @@ type Config struct {
 	// ChunkRows bounds entries per chunk on node sub-streams when the
 	// client request does not choose; 0 = engine.DefaultChunkRows.
 	ChunkRows int
+	// Cache is the optional edge-cache tier client (internal/cache):
+	// sub-streams and whole merged streams are served from and filled
+	// into it. Nil disables the tier entirely.
+	Cache *cache.Client
 	// Obs receives the coordinator's stage histograms and slow-query log;
 	// nil builds a fresh enabled registry (obs.Disabled() opts out).
 	Obs *obs.Registry
@@ -105,6 +110,14 @@ type Coordinator struct {
 	// ctl serializes control-plane writes: distributed deltas and
 	// migration cutovers. Queries never take it.
 	ctl sync.Mutex
+
+	// cache is the optional edge-cache tier; cepochs holds one content
+	// epoch per shard, bumped on every commit/cutover that can change the
+	// shard's served bytes. Cache keys bind these epochs, which is what
+	// makes invalidation exact: a bumped shard's old entries become
+	// unreachable by key even before the pushed group invalidation lands.
+	cache   *cache.Client
+	cepochs []atomic.Uint64
 
 	queries, streams, fanouts, errors atomic.Uint64
 	handoffRetries, routingRetries    atomic.Uint64
@@ -140,6 +153,8 @@ func New(cfg Config) (*Coordinator, error) {
 		nodes:     append([]string(nil), cfg.Nodes...),
 		clients:   make(map[string]*wire.Client, len(cfg.Nodes)),
 		route:     make([]string, cfg.Spec.K()),
+		cache:     cfg.Cache,
+		cepochs:   make([]atomic.Uint64, cfg.Spec.K()),
 	}
 	for _, url := range c.nodes {
 		c.clients[url] = &wire.Client{BaseURL: url, HTTP: cfg.HTTP}
@@ -198,6 +213,92 @@ func (c *Coordinator) routeFor(shard int) (string, error) {
 	return c.route[shard], nil
 }
 
+// contentEpochs snapshots the per-shard content epoch vector. Reads are
+// per-entry atomic, not jointly: a vector observed mid-bump simply
+// yields a cache key nobody fills twice — never a stale hit.
+func (c *Coordinator) contentEpochs() []uint64 {
+	out := make([]uint64, len(c.cepochs))
+	for i := range c.cepochs {
+		out[i] = c.cepochs[i].Load()
+	}
+	return out
+}
+
+// bumpShards advances the named shards' content epochs and pushes the
+// epoch-exact invalidations to the cache tier: each shard's group keeps
+// only entries at the fresh epoch, and every whole-stream entry of the
+// relation dies with them (a merged stream depends on all covering
+// shards, so any bump kills its key). The bump is the correctness
+// mechanism — old keys become unaskable the moment the epoch moves; the
+// pushed invalidation only reclaims the bytes.
+func (c *Coordinator) bumpShards(shards ...int) {
+	if len(shards) == 0 {
+		return
+	}
+	keeps := make([]uint64, len(shards))
+	for i, s := range shards {
+		keeps[i] = c.cepochs[s].Add(1)
+	}
+	if c.cache == nil {
+		return
+	}
+	for i, s := range shards {
+		c.cache.Invalidate(c.spec.Relation, s, keeps[i])
+	}
+	c.cache.Invalidate(c.spec.Relation, cache.StreamShard, 0)
+}
+
+// bumpAllShards is bumpShards over the whole key space — placement and
+// recovery rewrite the routing table wholesale, so every shard's cached
+// bytes are suspect.
+func (c *Coordinator) bumpAllShards() {
+	all := make([]int, c.spec.K())
+	for i := range all {
+		all[i] = i
+	}
+	c.bumpShards(all...)
+}
+
+// cacheSubKey names one covering shard's sub-stream bytes: everything
+// that shapes them (spec version, shard, content epoch, role, raw query,
+// sub-range, first/last anchors, chunking) is in the key.
+func (c *Coordinator) cacheSubKey(roleName string, q engine.Query, sr partition.SubRange, first, last bool, chunkRows int) cache.Key {
+	if chunkRows == 0 {
+		chunkRows = c.chunkRows
+	}
+	return cache.Key{
+		Relation:    c.spec.Relation,
+		SpecVersion: c.spec.Version,
+		Shard:       sr.Shard,
+		Epoch:       c.cepochs[sr.Shard].Load(),
+		Role:        roleName,
+		Query:       q,
+		Lo:          sr.Lo,
+		Hi:          sr.Hi,
+		First:       first,
+		Last:        last,
+		ChunkRows:   chunkRows,
+	}
+}
+
+// cacheStreamKey names a whole merged stream: the full content-epoch
+// vector stands in for a single shard epoch, so a bump of any shard
+// retires the key.
+func (c *Coordinator) cacheStreamKey(roleName string, q engine.Query, chunkRows int) cache.Key {
+	if chunkRows == 0 {
+		chunkRows = c.chunkRows
+	}
+	return cache.Key{
+		Relation:    c.spec.Relation,
+		SpecVersion: c.spec.Version,
+		Shard:       cache.StreamShard,
+		Epochs:      c.contentEpochs(),
+		Role:        roleName,
+		Query:       q,
+		ChunkRows:   chunkRows,
+	}
+}
+
 // Place distributes a validated partition set across the nodes
 // round-robin and installs every slice — the fresh-deployment path. The
 // set must match the coordinator's spec.
@@ -220,6 +321,7 @@ func (c *Coordinator) Place(set *partition.Set) error {
 	c.route = assign
 	c.mu.Unlock()
 	c.repoch.Add(1)
+	c.bumpAllShards()
 	return nil
 }
 
@@ -321,6 +423,14 @@ const pinRetries = 8
 // pinned with the set (and hand-off-checked against the first feed), so
 // the empty-range predecessor digest is epoch-consistent with the cover
 // — exactly the in-process pinCover contract.
+//
+// With a cache tier configured, each covering shard is first looked up
+// by its epoch-exact key: a validated hit replays into the merge, a
+// leader miss tees the node sub-stream into an async fill. Cached feeds
+// pass through the same seam checks as live ones; a seam mismatch while
+// any cached feed is in the set drops the suspect entries and re-pins
+// with the cache bypassed — a forged-but-digest-consistent entry costs
+// one retry, never a wrong or stale answer.
 func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.SubRange, chunkRows int, span *obs.Span) ([]engine.ShardFeed, engine.PrevG, error) {
 	rel := c.spec.Relation
 	var trace string
@@ -328,6 +438,7 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 		trace = span.Trace
 	}
 	var lastErr error
+	bypassCache := false
 	for attempt := 0; attempt < pinRetries; attempt++ {
 		repoch := c.repoch.Load()
 		feeds := make([]engine.ShardFeed, 0, len(sub))
@@ -345,6 +456,9 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 			ok = false
 			return nil
 		}
+		// cachedKeys tracks entries serving this attempt; a seam failure
+		// with cached feeds in play drops them and re-pins cache-free.
+		var cachedKeys []string
 		for i, sr := range sub {
 			url, err := c.routeFor(sr.Shard)
 			if err != nil {
@@ -356,29 +470,58 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				closeFeeds(feeds)
 				return nil, nil, err
 			}
-			ns, err := cl.ShardStream(wire.ShardStreamRequest{
-				Role: roleName, Query: q, Shard: sr.Shard,
-				Lo: sr.Lo, Hi: sr.Hi,
-				First: i == 0, Last: i == len(sub)-1,
-				ChunkRows: chunkRows, RoutingEpoch: repoch,
-				Trace: trace,
-			})
-			if err != nil {
-				closeFeeds(feeds)
-				if wire.IsNotHosting(err) {
-					if herr := staleRouting(sr.Shard, url, err); herr != nil {
-						return nil, nil, herr
-					}
-					break
+			var fill *cache.Fill
+			served := false
+			if c.cache != nil && !bypassCache {
+				k := c.cacheSubKey(roleName, q, sr, i == 0, i == len(sub)-1, chunkRows)
+				tGet := time.Now()
+				hit, f := c.cache.Lookup(k)
+				span.Add(obs.StageCacheGet, time.Since(tGet))
+				if hit != nil {
+					feeds = append(feeds, &replayFeed{shard: sr.Shard, hit: hit})
+					hellos = append(hellos, hit.Hello)
+					cachedKeys = append(cachedKeys, k.String())
+					served = true
 				}
-				return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", sr.Shard, url, err)
+				fill = f
 			}
-			feeds = append(feeds, &remoteFeed{
-				ns: ns, shard: sr.Shard, relation: rel,
-				url: url, span: span,
-				hWait: c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
-			})
-			hellos = append(hellos, ns.Hello())
+			if !served {
+				var tee io.Writer
+				if fill != nil {
+					tee = fill
+				}
+				ns, err := cl.ShardStreamTee(wire.ShardStreamRequest{
+					Role: roleName, Query: q, Shard: sr.Shard,
+					Lo: sr.Lo, Hi: sr.Hi,
+					First: i == 0, Last: i == len(sub)-1,
+					ChunkRows: chunkRows, RoutingEpoch: repoch,
+					Trace: trace,
+				}, tee)
+				if err != nil {
+					if fill != nil {
+						fill.Abort()
+					}
+					closeFeeds(feeds)
+					if wire.IsNotHosting(err) {
+						if herr := staleRouting(sr.Shard, url, err); herr != nil {
+							return nil, nil, herr
+						}
+						break
+					}
+					return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", sr.Shard, url, err)
+				}
+				rf := &remoteFeed{
+					ns: ns, shard: sr.Shard, relation: rel,
+					url: url, span: span,
+					hWait: c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
+				}
+				if fill != nil {
+					feeds = append(feeds, &fillFeed{remoteFeed: rf, fill: fill})
+				} else {
+					feeds = append(feeds, rf)
+				}
+				hellos = append(hellos, ns.Hello())
+			}
 			tSeam := time.Now()
 			seamOK := i == 0 || hellos[i-1].Edges.HandoffOK(hellos[i].Edges)
 			if i > 0 {
@@ -386,10 +529,18 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 			}
 			if !seamOK {
 				// A boundary change is mid-cutover somewhere between these
-				// two nodes' pins; re-pin the whole set.
+				// two nodes' pins — or a digest-consistent forged cache
+				// entry; re-pin the whole set, without the cache if it was
+				// in play.
 				c.handoffRetries.Add(1)
 				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", sub[i-1].Shard, sr.Shard)
 				ok = false
+				if len(cachedKeys) > 0 {
+					bypassCache = true
+					for _, ks := range cachedKeys {
+						c.cache.DropAsync(ks)
+					}
+				}
 				break
 			}
 		}
@@ -424,6 +575,12 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				c.handoffRetries.Add(1)
 				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", prev, sub[0].Shard)
 				ok = false
+				if len(cachedKeys) > 0 {
+					bypassCache = true
+					for _, ks := range cachedKeys {
+						c.cache.DropAsync(ks)
+					}
+				}
 			default:
 				g := resp.Edges.Tail[0].G
 				prevG = func() (hashx.Digest, error) { return g, nil }
@@ -473,11 +630,23 @@ type Stats struct {
 	SpecVersion                    uint64
 	// Routing maps shard index to assigned node URL.
 	Routing []string
+	// Cache carries the edge-cache tier counters when the tier is
+	// configured.
+	Cache *cache.ClientStats
+	// ContentEpochs is the per-shard content epoch vector cache keys bind.
+	ContentEpochs []uint64
 }
 
 // Stats snapshots the counters.
 func (c *Coordinator) Stats() Stats {
+	var cs *cache.ClientStats
+	if c.cache != nil {
+		snap := c.cache.Stats()
+		cs = &snap
+	}
 	return Stats{
+		Cache:          cs,
+		ContentEpochs:  c.contentEpochs(),
 		Queries:        c.queries.Load(),
 		Streams:        c.streams.Load(),
 		Fanouts:        c.fanouts.Load(),

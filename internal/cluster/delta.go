@@ -259,6 +259,18 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 				url, len(committed), len(tokens), committed, err)
 		}
 		committed = append(committed, url)
+		// The instant this node publishes, its shards' served bytes can
+		// change; bump their content epochs so the edge cache's old keys
+		// die with the old epoch — exact invalidation, keyed to the same
+		// per-node non-atomicity readers already absorb by re-pinning.
+		var touched []int
+		for shard, at := range stagedAt {
+			if at == url {
+				touched = append(touched, shard)
+			}
+		}
+		sort.Ints(touched)
+		c.bumpShards(touched...)
 	}
 	return epoch, nil
 }

@@ -1,8 +1,10 @@
 package cluster
 
 import (
+	"io"
 	"time"
 
+	"vcqr/internal/cache"
 	"vcqr/internal/engine"
 	"vcqr/internal/obs"
 	"vcqr/internal/wire"
@@ -70,3 +72,69 @@ func (f *remoteFeed) Foot() (engine.ShardFeedFoot, error) {
 }
 
 func (f *remoteFeed) Close() error { return f.ns.Close() }
+
+// replayFeed replays a validated edge-cache hit into the merge seam. The
+// decoded hello/chunks/foot came from a byte-exact tee of a real node
+// sub-stream, so the merge — and therefore the merged stream the client
+// verifies — is byte-identical to the origin path. The cached foot's
+// advisory timing is deliberately not folded into the live span: it
+// described the run that filled the entry, not this one.
+type replayFeed struct {
+	shard int
+	hit   *cache.Hit
+	i     int
+}
+
+func (f *replayFeed) Head() (engine.ShardHead, error) {
+	return engine.ShardHead{Shard: f.shard, Left: f.hit.Hello.Left}, nil
+}
+
+func (f *replayFeed) Next() (*engine.Chunk, error) {
+	if f.i >= len(f.hit.Chunks) {
+		return nil, io.EOF
+	}
+	c := f.hit.Chunks[f.i]
+	f.i++
+	return c, nil
+}
+
+func (f *replayFeed) Foot() (engine.ShardFeedFoot, error) {
+	foot := f.hit.Foot
+	return engine.ShardFeedFoot{
+		Entries:   foot.Entries,
+		Partial:   foot.Partial,
+		Right:     foot.Right,
+		PredSig:   foot.PredSig,
+		PredPrevG: foot.PredPrevG,
+		NeedPrevG: foot.NeedPrevG,
+	}, nil
+}
+
+func (f *replayFeed) Close() error { return nil }
+
+// fillFeed wraps a remoteFeed whose raw bytes are being teed into an
+// edge-cache fill: a cleanly drained foot commits the fill, anything
+// else (error, early close) aborts it. Commit/Abort are idempotent, so
+// the merger's close-everything error path is safe over a committed
+// feed.
+type fillFeed struct {
+	*remoteFeed
+	fill *cache.Fill
+}
+
+func (f *fillFeed) Foot() (engine.ShardFeedFoot, error) {
+	foot, err := f.remoteFeed.Foot()
+	if err != nil {
+		f.fill.Abort()
+		return foot, err
+	}
+	tFill := time.Now()
+	f.fill.Commit()
+	f.span.Add(obs.StageCacheFill, time.Since(tFill))
+	return foot, nil
+}
+
+func (f *fillFeed) Close() error {
+	f.fill.Abort()
+	return f.remoteFeed.Close()
+}

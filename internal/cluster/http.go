@@ -4,9 +4,12 @@ import (
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
+	"io"
 	"net/http"
 	"strconv"
+	"time"
 
+	"vcqr/internal/cache"
 	"vcqr/internal/delta"
 	"vcqr/internal/engine"
 	"vcqr/internal/obs"
@@ -111,14 +114,52 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 	// The span's trace ID (client-supplied or minted here) rides every
 	// shard sub-request, so one ID stitches coordinator and nodes.
 	sp := obs.StartSpan(req.Trace)
+	detail := fmt.Sprintf("role=%s relation=%s", req.Role, req.Query.Relation)
+	// With a cache tier configured, a whole merged stream may be served
+	// straight from cached chunk-frame bytes — no decode, no merge, no
+	// re-encode. The bytes are a verbatim tee of a previous run's output
+	// under the same epoch vector, so they are byte-identical to what the
+	// origin path would emit and the client's unmodified verifier is the
+	// final check on them.
+	var fill *cache.Fill
+	if c.cache != nil {
+		k := c.cacheStreamKey(req.Role, req.Query, req.ChunkRows)
+		tGet := time.Now()
+		raw, f := c.cache.LookupStream(k)
+		sp.Add(obs.StageCacheGet, time.Since(tGet))
+		if raw != nil {
+			c.serveCachedStream(w, raw, req.Timing, sp, detail)
+			return
+		}
+		fill = f
+		detail += " cache=miss"
+	}
 	st, err := c.queryStreamTraced(req.Role, req.Query, req.ChunkRows, sp)
 	if err != nil {
+		if fill != nil {
+			fill.Abort()
+		}
 		http.Error(w, err.Error(), http.StatusBadRequest)
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
 	fw := flushWriter{w}
-	werr := wire.WriteStream(fw, st)
+	var sink io.Writer = fw
+	if fill != nil {
+		sink = teeFlushWriter{fw: fw, fill: fill}
+	}
+	werr := wire.WriteStream(sink, st)
+	if fill != nil {
+		if werr == nil {
+			tFill := time.Now()
+			fill.Commit()
+			sp.Add(obs.StageCacheFill, time.Since(tFill))
+		} else {
+			// An errored stream wrote an in-band error chunk (or died on a
+			// disconnect); neither is a cacheable entry.
+			fill.Abort()
+		}
+	}
 	if werr != nil {
 		c.errors.Add(1)
 	}
@@ -128,15 +169,57 @@ func (c *Coordinator) handleStream(w http.ResponseWriter, r *http.Request) {
 	if werr == nil && req.Timing {
 		// Advisory trailer after the footer, only on request — same
 		// contract as the single-process server, with the per-node
-		// breakdowns (collected at each feed's foot) included.
+		// breakdowns (collected at each feed's foot) included. Written
+		// outside the tee: the trailer is per-request advisory data and
+		// must never enter a cached entry.
 		tc := &engine.Chunk{Type: engine.ChunkTiming, Trace: sp.Trace, Timing: sp.Stages()}
 		if err := wire.WriteChunkFrame(fw, tc); err == nil {
 			fw.Flush()
 		}
 	}
-	c.obs.Slow.Finish(sp, "stream",
-		fmt.Sprintf("role=%s relation=%s", req.Role, req.Query.Relation))
+	c.obs.Slow.Finish(sp, "stream", detail)
 }
+
+// serveCachedStream writes a cached merged stream verbatim, then the
+// freshly built timing trailer if the request asked for one (the trailer
+// is never cached — it describes this request, not the fill).
+func (c *Coordinator) serveCachedStream(w http.ResponseWriter, raw []byte, timing bool, sp *obs.Span, detail string) {
+	c.queries.Add(1)
+	c.streams.Add(1)
+	w.Header().Set("Content-Type", "application/octet-stream")
+	fw := flushWriter{w}
+	if _, err := fw.Write(raw); err != nil {
+		c.errors.Add(1)
+		c.obs.Slow.Finish(sp, "stream", detail+" cache=hit")
+		return
+	}
+	fw.Flush()
+	sp.Add(obs.StageStreamTotal, sp.Elapsed())
+	if timing {
+		tc := &engine.Chunk{Type: engine.ChunkTiming, Trace: sp.Trace, Timing: sp.Stages()}
+		if err := wire.WriteChunkFrame(fw, tc); err == nil {
+			fw.Flush()
+		}
+	}
+	c.obs.Slow.Finish(sp, "stream", detail+" cache=hit")
+}
+
+// teeFlushWriter mirrors every stream byte into an edge-cache fill while
+// preserving the per-frame flush behavior toward the client.
+type teeFlushWriter struct {
+	fw   flushWriter
+	fill *cache.Fill
+}
+
+func (t teeFlushWriter) Write(p []byte) (int, error) {
+	n, err := t.fw.Write(p)
+	if err == nil && n == len(p) {
+		t.fill.Write(p)
+	}
+	return n, err
+}
+
+func (t teeFlushWriter) Flush() { t.fw.Flush() }
 
 // handleMetrics serves the cluster-wide Prometheus exposition. Three
 // histogram families share the bucket geometry that makes node snapshots
@@ -170,6 +253,43 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.WriteGaugeFamily(w, "vcqr_routing_epoch", "Routing table version.",
 		[]obs.CounterSeries{{Labels: [][2]string{{"role", "coordinator"}}, Value: float64(st.RoutingEpoch)}})
+	if st.Cache != nil {
+		cs := st.Cache
+		for _, cv := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"vcqr_cache_hits_total", "Validated edge-cache hits.", cs.Hits},
+			{"vcqr_cache_misses_total", "Edge-cache misses (fall-throughs included).", cs.Misses},
+			{"vcqr_cache_collapsed_total", "Misses collapsed onto another lookup's in-flight fill.", cs.Collapsed},
+			{"vcqr_cache_fills_total", "Entries pushed to cache peers.", cs.Fills},
+			{"vcqr_cache_fill_drops_total", "Fills discarded (aborted, oversized, empty).", cs.FillDrops},
+			{"vcqr_cache_fallthroughs_total", "Cache entries rejected by digest or structural checks.", cs.Fallthroughs},
+			{"vcqr_cache_invalidations_total", "Epoch-scoped group invalidations pushed.", cs.Invalidations},
+			{"vcqr_cache_peer_errors_total", "Cache-protocol I/O failures.", cs.PeerErrors},
+			{"vcqr_cache_admission_denied_total", "Fills skipped by the cost-model admission gate.", cs.AdmissionsDenied},
+		} {
+			obs.WriteCounterFamily(w, cv.name, cv.help,
+				[]obs.CounterSeries{{Labels: [][2]string{{"role", "coordinator"}}, Value: float64(cv.v)}})
+		}
+		// Per-peer resident state, scraped live; a down peer is skipped
+		// (its keys fall through to origin, which is the design).
+		peerStats := c.cache.PeerStats()
+		var ev, by, en []obs.CounterSeries
+		for _, url := range sortedKeys(peerStats) {
+			ps := peerStats[url]
+			if ps == nil {
+				continue
+			}
+			l := [][2]string{{"peer", url}}
+			ev = append(ev, obs.CounterSeries{Labels: l, Value: float64(ps.Evictions)})
+			by = append(by, obs.CounterSeries{Labels: l, Value: float64(ps.Bytes)})
+			en = append(en, obs.CounterSeries{Labels: l, Value: float64(ps.Entries)})
+		}
+		obs.WriteCounterFamily(w, "vcqr_cache_evictions_total", "Entries evicted by each peer's byte-budget LRU.", ev)
+		obs.WriteGaugeFamily(w, "vcqr_cache_bytes", "Bytes resident on each cache peer.", by)
+		obs.WriteGaugeFamily(w, "vcqr_cache_entries", "Entries resident on each cache peer.", en)
+	}
 	own := c.obs.Snapshot()
 	obs.WriteHistogramFamily(w, "vcqr_stage_seconds",
 		"Per-stage serving latency (seconds).",
@@ -207,20 +327,29 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // obs.Export (nodes serve their own; merging is the scraper's job).
 func (c *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request) {
 	st := c.Stats()
+	counters := map[string]uint64{
+		"queries":         st.Queries,
+		"streams":         st.Streams,
+		"fanouts":         st.Fanouts,
+		"errors":          st.Errors,
+		"handoff_retries": st.HandoffRetries,
+		"routing_retries": st.RoutingRetries,
+		"deltas_applied":  st.DeltasApplied,
+		"migrations":      st.Migrations,
+	}
+	if st.Cache != nil {
+		counters["cache_hits"] = st.Cache.Hits
+		counters["cache_misses"] = st.Cache.Misses
+		counters["cache_collapsed"] = st.Cache.Collapsed
+		counters["cache_fills"] = st.Cache.Fills
+		counters["cache_fallthroughs"] = st.Cache.Fallthroughs
+		counters["cache_invalidations"] = st.Cache.Invalidations
+	}
 	obs.WriteExport(w, obs.Export{
 		Role:     "coordinator",
 		BoundsNS: obs.BucketBounds(),
 		Hists:    c.obs.Snapshot(),
-		Counters: map[string]uint64{
-			"queries":         st.Queries,
-			"streams":         st.Streams,
-			"fanouts":         st.Fanouts,
-			"errors":          st.Errors,
-			"handoff_retries": st.HandoffRetries,
-			"routing_retries": st.RoutingRetries,
-			"deltas_applied":  st.DeltasApplied,
-			"migrations":      st.Migrations,
-		},
+		Counters: counters,
 	})
 }
 

@@ -181,6 +181,11 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 	c.ctl.Unlock()
 	rep.CutoverDuration = time.Since(cutStart)
 	c.obs.Hist(obs.StageRebalCutover).Observe(rep.CutoverDuration)
+	// Retire the shard's cached entries outside the exclusive window (the
+	// invalidation broadcast is network I/O): the copies were proven
+	// byte-identical, so an entry served in this gap is still correct —
+	// the bump is hygiene for the new hosting, not a correctness race.
+	c.bumpShards(shard)
 	// Migrations land in the slow log like any request, compared against
 	// the threshold by their copy+cutover sum.
 	c.obs.Slow.Record(obs.SlowEntry{
@@ -330,6 +335,10 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 	c.route = assign
 	c.mu.Unlock()
 	c.repoch.Add(1)
+	// Recovery adopts whatever the nodes hold — possibly bytes written
+	// while this coordinator was down — so every shard's cached entries
+	// are suspect.
+	c.bumpAllShards()
 	sort.Ints(rep.Diverged)
 	sort.Ints(rep.Ambiguous)
 	sort.Strings(rep.DroppedCopies)

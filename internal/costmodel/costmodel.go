@@ -164,3 +164,45 @@ func FanoutSpeedup(costK1, costK time.Duration) float64 {
 	}
 	return float64(costK1) / float64(costK)
 }
+
+// --- edge-cache admission ----------------------------------------------
+//
+// The shared verified-VO cache tier (internal/cache) stores encoded
+// chunk-frame byte ranges under a byte budget. Caching a range that is
+// never asked for again is pure loss: the fill costs one put plus the
+// bytes it evicts, and the paper's trust model gives caching no
+// correctness value — only the repeat hit pays. The admission rule is
+// therefore frequency-based: a range must have been observed at least
+// CacheMinAccesses times (within the access tracker's decay window,
+// workload.AccessStats) before a miss tees an origin sub-stream into a
+// fill.
+
+// CacheMinAccesses returns the admission threshold: the number of
+// observed accesses at which the expected repeat traffic amortizes a
+// fill. fillCost is the one-time cost of recording and putting an entry
+// (origin assembly is paid either way on the admitting miss); hitSaving
+// is what one later hit saves over origin. The threshold is
+// 1 + ceil(fillCost/hitSaving) — with a cheap fill it settles at 2:
+// admit on the second access, i.e. on first evidence of heat.
+func CacheMinAccesses(fillCost, hitSaving time.Duration) uint32 {
+	if hitSaving <= 0 {
+		return 2
+	}
+	repeats := int(math.Ceil(float64(fillCost) / float64(hitSaving)))
+	if repeats < 1 {
+		repeats = 1
+	}
+	return uint32(1 + repeats)
+}
+
+// CacheEntryCap bounds one cache entry to a fraction of the peer's byte
+// budget, so a single giant range cannot evict the whole working set;
+// the floor keeps typical chunk runs admissible.
+func CacheEntryCap(budget int64) int {
+	cap := budget / 16
+	const floor = 1 << 20
+	if cap < floor {
+		cap = floor
+	}
+	return int(cap)
+}

@@ -69,6 +69,11 @@ type ShardFeedFoot struct {
 // consumption order: Head once, Next until io.EOF, then Foot. Close
 // releases the feed's resources at any point; the merger closes every
 // feed when the stream errors or is abandoned.
+//
+// Implementations: ShardPartial (in-process), internal/cluster's wire
+// adapter over node sub-streams, and internal/cluster's replay of
+// edge-cached sub-stream bytes — all indistinguishable to the merger,
+// which is what keeps every serving path byte-identical.
 type ShardFeed interface {
 	Head() (ShardHead, error)
 	Next() (*Chunk, error)

@@ -1,0 +1,349 @@
+package experiments
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"vcqr/internal/accessctl"
+	"vcqr/internal/cache"
+	"vcqr/internal/cluster"
+	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
+	"vcqr/internal/partition"
+	"vcqr/internal/server"
+	"vcqr/internal/verify"
+	"vcqr/internal/wire"
+)
+
+// E-cache: the shared verified-VO edge-cache tier, end to end over real
+// TCP. One relation is signed and split K ways over shard nodes; the
+// same nodes sit behind two coordinators — one fronted by a cache peer,
+// one bare — and both serve the same query sequences so the tier's
+// effect is isolated:
+//
+//   - hot-range (Zipf) workload: each distinct stream is verified once
+//     through the unmodified shard-aware verifier, then the throughput
+//     loops drain raw bytes and require them byte-identical to the
+//     verified reference — every served byte is covered by a
+//     verification while the measurement stays serving-bound, the way a
+//     CDN-style tier is actually exercised;
+//   - uniform workload: no locality, the honest lower bound — the tier
+//     must not pessimize cold traffic;
+//   - singleflight storm: concurrent identical queries against a cold
+//     cache must reach origin at most once per (epoch, shard) key.
+type CacheResult struct {
+	Records, Shards, Nodes, Peers int
+
+	// Hot-range (Zipf over HotRanges distinct ranges).
+	HotRanges    int
+	HotQueries   int
+	HotCachedQPS float64
+	HotOriginQPS float64
+	HotSpeedup   float64
+	HotHitRatio  float64
+
+	// Uniform (every query a fresh range).
+	UniQueries   int
+	UniCachedQPS float64
+	UniOriginQPS float64
+
+	// Singleflight storm.
+	StormQueries          int
+	StormOriginSubStreams uint64
+	StormCollapsed        uint64
+
+	// Peer-side totals after the run.
+	PeerEntries int
+	PeerBytes   int64
+}
+
+// rawStream POSTs a stream request and returns the raw frame bytes.
+func rawStream(hc *http.Client, url string, req wire.StreamRequest) ([]byte, error) {
+	var body bytes.Buffer
+	if err := gob.NewEncoder(&body).Encode(req); err != nil {
+		return nil, err
+	}
+	resp, err := hc.Post(url+"/stream", "application/octet-stream", &body)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("stream returned %s", resp.Status)
+	}
+	return io.ReadAll(resp.Body)
+}
+
+// Cache runs the edge-cache tier experiment.
+func (e *Env) Cache() (*CacheResult, error) {
+	const k, nNodes, chunkRows = 4, 2, 64
+	n := e.scale(768)
+	h := hashx.New()
+	sr, _, err := e.buildUniform(h, n, 16, 2, 11)
+	if err != nil {
+		return nil, err
+	}
+	set, err := partition.Split(sr, k)
+	if err != nil {
+		return nil, err
+	}
+	role := accessctl.Role{Name: "all"}
+	pub := e.Key.Public()
+	v := verify.New(h, pub, sr.Params, sr.Schema)
+
+	// Shard nodes on real listeners.
+	nodes := make([]*server.Server, nNodes)
+	urls := make([]string, nNodes)
+	for i := 0; i < nNodes; i++ {
+		s := server.New(server.Config{Hasher: h, Pub: pub, Policy: accessctl.NewPolicy(role)})
+		hs, err := server.Serve("127.0.0.1:0", s)
+		if err != nil {
+			return nil, err
+		}
+		defer hs.Shutdown(shutdownCtx())
+		nodes[i] = s
+		urls[i] = "http://" + hs.Addr()
+	}
+
+	// One cache peer on a real listener.
+	peer := cache.NewServer(0)
+	peerS, err := serveHandler(peer.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer peerS.close()
+	cc := cache.NewClient(cache.Config{Peers: []string{peerS.url}})
+
+	newCoord := func(withCache bool) (*cluster.Coordinator, error) {
+		cfg := cluster.Config{
+			Hasher: h, Pub: pub, Params: sr.Params, Schema: sr.Schema,
+			Policy: accessctl.NewPolicy(role), Spec: set.Spec, Nodes: urls,
+		}
+		if withCache {
+			cfg.Cache = cc
+		}
+		return cluster.New(cfg)
+	}
+	cached, err := newCoord(true)
+	if err != nil {
+		return nil, err
+	}
+	if err := cached.Place(set); err != nil {
+		return nil, err
+	}
+	bare, err := newCoord(false)
+	if err != nil {
+		return nil, err
+	}
+	// The bare coordinator adopts the placement instead of re-installing.
+	if _, err := bare.Recover(); err != nil {
+		return nil, err
+	}
+	cachedS, err := serveHandler(cached.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer cachedS.close()
+	bareS, err := serveHandler(bare.Handler())
+	if err != nil {
+		return nil, err
+	}
+	defer bareS.close()
+
+	res := &CacheResult{Records: n, Shards: k, Nodes: nNodes, Peers: 1}
+	relName := sr.Schema.Name
+	hc := &http.Client{}
+
+	// Hot-range workload: hotRanges sub-ranges of the key domain, drawn
+	// Zipf so a few carry most of the traffic.
+	const hotRanges = 16
+	res.HotRanges = hotRanges
+	domain := uint64(1) << 32
+	rangeQuery := func(i int) engine.Query {
+		width := domain / hotRanges
+		lo := uint64(i) * width
+		return engine.Query{Relation: relName, KeyLo: lo, KeyHi: lo + width - 1}
+	}
+
+	// Verify each distinct stream once through the unmodified verifier
+	// and keep the reference bytes; also pin cached == bare byte-for-byte.
+	refs := make([][]byte, hotRanges)
+	for i := 0; i < hotRanges; i++ {
+		q := rangeQuery(i)
+		sv, err := v.NewShardStreamVerifier(set.Spec, q, role)
+		if err != nil {
+			return nil, err
+		}
+		cl := &wire.Client{BaseURL: bareS.url, HTTP: hc}
+		if _, err := cl.QueryStreamWith(sv, role.Name, q, chunkRows, nil); err != nil {
+			return nil, fmt.Errorf("experiments: range %d rejected by verifier: %w", i, err)
+		}
+		req := wire.StreamRequest{Role: role.Name, Query: q, ChunkRows: chunkRows}
+		if refs[i], err = rawStream(hc, bareS.url, req); err != nil {
+			return nil, err
+		}
+		got, err := rawStream(hc, cachedS.url, req)
+		if err != nil {
+			return nil, err
+		}
+		if !bytes.Equal(got, refs[i]) {
+			return nil, fmt.Errorf("experiments: cached stream for range %d differs from bare coordinator", i)
+		}
+	}
+
+	// Warm the admission gate (cost-model default: cache on the second
+	// sighting) and let the async fills land before timing.
+	for pass := 0; pass < 2; pass++ {
+		for i := 0; i < hotRanges; i++ {
+			if _, err := rawStream(hc, cachedS.url, wire.StreamRequest{Role: role.Name, Query: rangeQuery(i), ChunkRows: chunkRows}); err != nil {
+				return nil, err
+			}
+		}
+	}
+	settle := time.Now().Add(2 * time.Second)
+	for prev := -1; ; {
+		cur := peer.Store().Stats().Entries
+		if cur == prev || time.Now().After(settle) {
+			break
+		}
+		prev = cur
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	iters := 400
+	if e.Short {
+		iters = 80
+	}
+	res.HotQueries = iters
+	zipfDraws := func(seed int64) []int {
+		rng := rand.New(rand.NewSource(seed))
+		z := rand.NewZipf(rng, 1.2, 1, hotRanges-1)
+		out := make([]int, iters)
+		for i := range out {
+			out[i] = int(z.Uint64())
+		}
+		return out
+	}
+	runLoop := func(url string, draws []int) (float64, error) {
+		start := time.Now()
+		for _, d := range draws {
+			got, err := rawStream(hc, url, wire.StreamRequest{Role: role.Name, Query: rangeQuery(d), ChunkRows: chunkRows})
+			if err != nil {
+				return 0, err
+			}
+			if !bytes.Equal(got, refs[d]) {
+				return 0, fmt.Errorf("experiments: stream for range %d differs from its verified reference", d)
+			}
+		}
+		return float64(len(draws)) / time.Since(start).Seconds(), nil
+	}
+	draws := zipfDraws(1)
+	preHot := cached.Stats().Cache
+	if res.HotOriginQPS, err = runLoop(bareS.url, draws); err != nil {
+		return nil, err
+	}
+	if res.HotCachedQPS, err = runLoop(cachedS.url, draws); err != nil {
+		return nil, err
+	}
+	postHot := cached.Stats().Cache
+	res.HotSpeedup = res.HotCachedQPS / res.HotOriginQPS
+	if asked := (postHot.Hits - preHot.Hits) + (postHot.Misses - preHot.Misses); asked > 0 {
+		res.HotHitRatio = float64(postHot.Hits-preHot.Hits) / float64(asked)
+	}
+
+	// Uniform workload: every query its own narrow range — no locality,
+	// nothing for the tier to reuse.
+	uniIters := iters / 2
+	res.UniQueries = uniIters
+	uniQuery := func(i int) engine.Query {
+		width := domain / uint64(uniIters+1)
+		lo := uint64(i) * width
+		return engine.Query{Relation: relName, KeyLo: lo, KeyHi: lo + width/2}
+	}
+	runUni := func(url string) (float64, error) {
+		start := time.Now()
+		for i := 0; i < uniIters; i++ {
+			if _, err := rawStream(hc, url, wire.StreamRequest{Role: role.Name, Query: uniQuery(i), ChunkRows: chunkRows}); err != nil {
+				return 0, err
+			}
+		}
+		return float64(uniIters) / time.Since(start).Seconds(), nil
+	}
+	if res.UniOriginQPS, err = runUni(bareS.url); err != nil {
+		return nil, err
+	}
+	if res.UniCachedQPS, err = runUni(cachedS.url); err != nil {
+		return nil, err
+	}
+
+	// Singleflight storm: cold the tier, then fire concurrent identical
+	// full-range queries and count how many sub-streams reached origin.
+	for s := 0; s < k; s++ {
+		cc.Invalidate(relName, s, 0)
+	}
+	cc.Invalidate(relName, cache.StreamShard, 0)
+	originStreams := func() uint64 {
+		var total uint64
+		for _, s := range nodes {
+			total += s.Stats().ShardStreams
+		}
+		return total
+	}
+	before := originStreams()
+	preStorm := cached.Stats().Cache
+	const storm = 64
+	res.StormQueries = storm
+	full := engine.Query{Relation: relName}
+	startCh := make(chan struct{})
+	var wg sync.WaitGroup
+	var stormErr atomic.Value
+	for i := 0; i < storm; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			<-startCh
+			if _, err := rawStream(hc, cachedS.url, wire.StreamRequest{Role: role.Name, Query: full, ChunkRows: chunkRows}); err != nil {
+				stormErr.Store(err)
+			}
+		}()
+	}
+	close(startCh)
+	wg.Wait()
+	if err, _ := stormErr.Load().(error); err != nil {
+		return nil, fmt.Errorf("experiments: storm query: %w", err)
+	}
+	postStorm := cached.Stats().Cache
+	res.StormOriginSubStreams = originStreams() - before
+	res.StormCollapsed = postStorm.Collapsed - preStorm.Collapsed
+
+	st := peer.Store().Stats()
+	res.PeerEntries = st.Entries
+	res.PeerBytes = st.Bytes
+	return res, nil
+}
+
+// PrintCache renders the edge-cache experiment.
+func PrintCache(w io.Writer, r *CacheResult) {
+	fmt.Fprintf(w, "\nE-cache: coordinator + %d shard nodes + %d cache peer (%d records, %d shards)\n",
+		r.Nodes, r.Peers, r.Records, r.Shards)
+	fmt.Fprintf(w, "  hot-range (Zipf over %d)    : cached %.1f q/s vs origin %.1f q/s — %.1fx, hit ratio %.0f%%\n",
+		r.HotRanges, r.HotCachedQPS, r.HotOriginQPS, r.HotSpeedup, 100*r.HotHitRatio)
+	fmt.Fprintf(w, "  uniform (no locality)       : cached %.1f q/s vs origin %.1f q/s\n",
+		r.UniCachedQPS, r.UniOriginQPS)
+	fmt.Fprintf(w, "  singleflight storm          : %d concurrent queries, %d origin sub-streams (%d shard keys), %d collapsed\n",
+		r.StormQueries, r.StormOriginSubStreams, r.Shards, r.StormCollapsed)
+	fmt.Fprintf(w, "  peer after run              : %d entries, %d bytes\n", r.PeerEntries, r.PeerBytes)
+	if r.HotSpeedup >= 5 {
+		fmt.Fprintln(w, "  hot-range speedup >= 5x over the no-cache cluster path ✓")
+	}
+	if r.StormOriginSubStreams <= uint64(r.Shards) {
+		fmt.Fprintln(w, "  storm reached origin at most once per (epoch, shard) key ✓")
+	}
+}

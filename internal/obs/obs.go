@@ -207,6 +207,8 @@ const (
 	StageDeltaCommit  = "delta_commit"      // cluster: two-phase delta, commit
 	StageRebalCopy    = "rebalance_copy"    // cluster: migration copy + catch-up
 	StageRebalCutover = "rebalance_cutover" // cluster: migration cutover lock window
+	StageCacheGet     = "cache_get"         // cluster: edge-cache tier probe
+	StageCacheFill    = "cache_fill"        // cluster: origin tee into an async cache fill
 )
 
 // Labeled builds a registry key carrying extra labels:

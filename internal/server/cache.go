@@ -14,6 +14,12 @@ import (
 // the epoch means a delta cutover implicitly invalidates every cached
 // entry for that relation — stale epochs simply stop being asked for and
 // age out of the LRU.
+//
+// This epoch-in-the-key idiom is the seed of the shared edge-cache tier
+// (internal/cache), which extends the same schema with the partition
+// coordinates (spec version, shard, sub-range, chunking) and adds pushed
+// epoch-scoped invalidation so a byte-budgeted external peer reclaims
+// dead entries instead of waiting for LRU aging.
 func cacheKey(epoch uint64, role string, q engine.Query) string {
 	var b strings.Builder
 	b.Grow(64)

@@ -196,6 +196,15 @@ type NodeStream struct {
 // is consumed before returning, so a stale-routing refusal surfaces here
 // (IsNotHosting) rather than mid-merge.
 func (c *Client) ShardStream(req ShardStreamRequest) (*NodeStream, error) {
+	return c.ShardStreamTee(req, nil)
+}
+
+// ShardStreamTee is ShardStream with every raw byte the node sends — the
+// hello, chunk and foot frames exactly as framed — copied into tee as it
+// is consumed. The edge-cache fill path records sub-streams this way: a
+// fully drained tee holds the byte-exact frame sequence a later replay
+// decodes back into the merge. A nil tee is ShardStream.
+func (c *Client) ShardStreamTee(req ShardStreamRequest, tee io.Writer) (*NodeStream, error) {
 	httpc := c.HTTP
 	if httpc == nil {
 		httpc = http.DefaultClient
@@ -213,21 +222,34 @@ func (c *Client) ShardStream(req ShardStreamRequest) (*NodeStream, error) {
 		resp.Body.Close()
 		return nil, fmt.Errorf("wire: node returned %s: %s", resp.Status, strings.TrimSpace(string(msg)))
 	}
+	rbody := resp.Body
+	if tee != nil {
+		rbody = &teeReadCloser{r: io.TeeReader(resp.Body, tee), c: resp.Body}
+	}
 	var f NodeFrame
-	if err := readFrame(resp.Body, &f); err != nil {
-		resp.Body.Close()
+	if err := readFrame(rbody, &f); err != nil {
+		rbody.Close()
 		return nil, err
 	}
 	switch {
 	case f.Err != "":
-		resp.Body.Close()
+		rbody.Close()
 		return nil, fmt.Errorf("wire: node error: %s", f.Err)
 	case f.Hello == nil:
-		resp.Body.Close()
+		rbody.Close()
 		return nil, fmt.Errorf("wire: shard sub-stream did not open with a hello frame")
 	}
-	return &NodeStream{body: resp.Body, hello: *f.Hello}, nil
+	return &NodeStream{body: rbody, hello: *f.Hello}, nil
 }
+
+// teeReadCloser pairs a TeeReader with the underlying body's closer.
+type teeReadCloser struct {
+	r io.Reader
+	c io.Closer
+}
+
+func (t *teeReadCloser) Read(p []byte) (int, error) { return t.r.Read(p) }
+func (t *teeReadCloser) Close() error               { return t.c.Close() }
 
 // Hello returns the sub-stream's opening frame.
 func (ns *NodeStream) Hello() NodeHello { return ns.hello }
