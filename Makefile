@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench fuzz docs smoke-cluster smoke-cache metrics-smoke ci
+.PHONY: all build vet test race bench fuzz docs smoke-cluster smoke-cache smoke-replica metrics-smoke ci
 
 all: ci
 
@@ -18,14 +18,17 @@ race:
 
 # bench runs the full paper-evaluation + serving benchmark suite and
 # refreshes the committed perf trajectories: the crypto fast path
-# (BENCH_crypto.json), the observability overhead bound (BENCH_obs.json)
-# and the edge-cache speedup record (BENCH_cache.json) — the files CI
-# uploads and future PRs diff against.
+# (BENCH_crypto.json), the observability overhead bound (BENCH_obs.json),
+# the edge-cache speedup record (BENCH_cache.json) and the distributed
+# tier with the R-way replication sweep and kill drill
+# (BENCH_cluster.json) — the files CI uploads and future PRs diff
+# against.
 bench:
 	$(GO) test -run xxx -bench . -benchmem .
 	$(GO) run ./cmd/vcbench -exp crypto -out BENCH_crypto.json
 	$(GO) run ./cmd/vcbench -exp obs -out BENCH_obs.json
 	$(GO) run ./cmd/vcbench -exp cache -out BENCH_cache.json
+	$(GO) run ./cmd/vcbench -exp cluster -out BENCH_cluster.json
 
 # bench-smoke is the CI-sized slice of bench: one iteration of the Go
 # benchmarks and the crypto sweep at reduced scale.
@@ -33,11 +36,14 @@ bench-smoke:
 	$(GO) test -run xxx -bench . -benchtime 1x .
 	$(GO) run ./cmd/vcbench -exp crypto -short -out BENCH_crypto.json
 
-# fuzz smoke-tests the wire decoders: the gob chunk frames and the
-# hand-rolled binary cache frames.
+# fuzz smoke-tests the wire decoders: the gob chunk frames, the
+# hand-rolled binary cache frames, the node sub-stream frames the
+# fault-injection seam replays, and the lease frames.
 fuzz:
 	$(GO) test -run xxx -fuzz FuzzReadChunkFrame -fuzztime 30s ./internal/wire
 	$(GO) test -run xxx -fuzz FuzzReadCacheFrame -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzReadNodeFrame -fuzztime 30s ./internal/wire
+	$(GO) test -run xxx -fuzz FuzzReadLeaseFrame -fuzztime 30s ./internal/wire
 
 # smoke-cluster launches 1 coordinator + 2 shard nodes as separate OS
 # processes, streams a cross-node verified query and runs one online
@@ -45,6 +51,14 @@ fuzz:
 # tier (also run by CI).
 smoke-cluster:
 	sh scripts/cluster_smoke.sh
+
+# smoke-replica launches 1 coordinator + 3 shard nodes at R=2 as
+# separate OS processes, kills one node mid-traffic and proves every
+# verified query still answers (zero failures) while the routing table
+# demotes the dead node — the verbatim-tested README replication
+# quickstart (also run by CI).
+smoke-replica:
+	sh scripts/replica_smoke.sh
 
 # smoke-cache adds an untrusted edge-cache peer to the multi-process
 # cluster, repeats a verified stream query until the tier serves a

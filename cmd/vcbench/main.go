@@ -20,8 +20,12 @@
 // the machine-readable perf trajectory, e.g. -out BENCH_crypto.json as
 // `make bench` and CI do), "cluster" (the distributed tier over real
 // TCP: cross-node verified stream throughput vs the single-process
-// baseline, plus an online shard migration under live deltas reporting
-// copy/cutover latency and the zero-rejected-queries invariant),
+// baseline, an online shard migration under live deltas reporting
+// copy/cutover latency and the zero-rejected-queries invariant, and
+// the replication story — verified-stream QPS at R ∈ {1,2,3} plus a
+// SIGKILL-equivalent node death at R=2 under live load with the
+// zero-failed-queries invariant; -exp cluster -out BENCH_cluster.json
+// writes the committed machine-readable record),
 // "cache" (the shared edge-cache tier: hot-range Zipf and uniform
 // verified-stream throughput against cached and bare coordinators over
 // the same shard nodes, plus a singleflight storm counting origin
@@ -194,6 +198,18 @@ func main() {
 			fatal(err)
 		}
 		experiments.PrintCluster(w, r)
+		// -out is shared with crypto and obs; write only when cluster was
+		// asked for by name.
+		if *out != "" && strings.EqualFold(*exp, "cluster") {
+			blob, err := json.MarshalIndent(r, "", "  ")
+			if err != nil {
+				fatal(err)
+			}
+			if err := os.WriteFile(*out, append(blob, '\n'), 0o644); err != nil {
+				fatal(err)
+			}
+			fmt.Fprintf(w, "wrote %s\n", *out)
+		}
 	}
 	if run("cache") {
 		ran = true

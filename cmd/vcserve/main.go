@@ -15,7 +15,11 @@
 //     spans online (POST /admin/rebalance). With -adopt it rebuilds its
 //     routing table from what the nodes already host instead of loading
 //     a snapshot — the restart path. With -cache-peers it consults the
-//     edge-cache tier before fanning out.
+//     edge-cache tier before fanning out. With -replicas R every shard
+//     installs on R distinct nodes: queries pick the least-loaded live
+//     replica, lease heartbeats (-lease-ttl, -heartbeat) demote dead
+//     nodes from routing, and mid-stream failures resume byte-exactly
+//     on a sibling copy.
 //   - edge-cache peer (-cache-node): an untrusted, memcached-shaped
 //     byte cache (internal/cache) the coordinator fills and reads. It
 //     needs no keys and no params: anything it garbles or forges fails
@@ -35,6 +39,9 @@
 //	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
 //	vcserve -coordinator -adopt -params params.gob \
 //	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082 -addr :8080
+//	vcserve -coordinator -load emp.gob -params params.gob -replicas 2 \
+//	    -nodes http://127.0.0.1:8081,http://127.0.0.1:8082,http://127.0.0.1:8083 \
+//	    -lease-ttl 5s -addr :8080                      # R-way replication
 //	vcserve -cache-node -cache-bytes 268435456 -addr :8090   # cache peer
 //	vcserve -coordinator -load emp.gob -params params.gob \
 //	    -nodes ... -cache-peers http://127.0.0.1:8090 -addr :8080
@@ -108,6 +115,9 @@ func main() {
 	cachePeers := flag.String("cache-peers", "", "comma-separated cache-peer base URLs (coordinator mode; empty disables the tier)")
 	nodesFlag := flag.String("nodes", "", "comma-separated shard-node base URLs (coordinator mode)")
 	adopt := flag.Bool("adopt", false, "coordinator mode: recover the routing table from node inventories instead of loading a snapshot")
+	replicas := flag.Int("replicas", 1, "coordinator mode: replication factor R — every shard's slice installs on R distinct nodes and queries pick the least-loaded live replica (clamped to the node count)")
+	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator mode: how long one acknowledged heartbeat keeps a node live for routing; expiry demotes, never deletes (0 = default 15s)")
+	heartbeat := flag.Duration("heartbeat", 0, "coordinator mode: lease heartbeat interval (0 = lease-ttl/3)")
 	flag.StringVar(&debugAddr, "debug-addr", "", "serve expvar/pprof/slowlog on a separate listener (empty = query port only)")
 	flag.DurationVar(&slowQuery, "slow-query", 0, "slow-query log retention threshold, e.g. 250ms (0 = default 100ms, negative disables)")
 	flag.Parse()
@@ -126,7 +136,7 @@ func main() {
 	case *nodeMode:
 		runNode(*addr, *paramsPath, *cacheSize)
 	case *coordMode:
-		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *cachePeers, *adopt)
+		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *cachePeers, *adopt, *replicas, *leaseTTL, *heartbeat)
 	default:
 		runSingle(*addr, *load, *paramsPath, *n, *seed, *shards, *cacheSize)
 	}
@@ -192,7 +202,7 @@ func runNode(addr, paramsPath string, cacheSize int) {
 }
 
 // runCoordinator starts the cluster control plane and user-facing API.
-func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt bool) {
+func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt bool, replicas int, leaseTTL, heartbeat time.Duration) {
 	cp, err := wire.ReadClientParams(paramsPath)
 	if err != nil {
 		log.Fatal(err)
@@ -254,6 +264,9 @@ func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt 
 		Cache:         cacheClient,
 		Obs:           reg,
 		SlowThreshold: slowQuery,
+		Replicas:      replicas,
+		LeaseTTL:      leaseTTL,
+		Advertise:     addr,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -278,8 +291,23 @@ func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt 
 			log.Fatalf("placement: %v", err)
 		}
 	}
-	for i, url := range coord.Routing() {
-		log.Printf("  shard %d -> %s", i, url)
+	if replicas > 1 {
+		for i, set := range coord.ReplicaSets() {
+			log.Printf("  shard %d -> %s", i, strings.Join(set, ", "))
+		}
+	} else {
+		for i, url := range coord.Routing() {
+			log.Printf("  shard %d -> %s", i, url)
+		}
+	}
+	if replicas > 1 || heartbeat > 0 {
+		stopHB := coord.StartHeartbeats(heartbeat)
+		defer stopHB()
+		ttl := leaseTTL
+		if ttl == 0 {
+			ttl = cluster.DefaultLeaseTTL
+		}
+		log.Printf("lease heartbeats running (R=%d, TTL %v); expired nodes demote from routing", replicas, ttl)
 	}
 
 	ln, err := net.Listen("tcp", addr)
@@ -299,8 +327,8 @@ func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt 
 		spec.Relation, spec.K(), len(nodes), ln.Addr())
 	waitAndShutdown(hs.Shutdown, func() <-chan struct{} { return done }, func() error { return serveErr })
 	st := coord.Stats()
-	log.Printf("served %d queries (%d fan-outs, %d deltas, %d migrations, routing epoch %d); bye",
-		st.Queries, st.Fanouts, st.DeltasApplied, st.Migrations, st.RoutingEpoch)
+	log.Printf("served %d queries (%d fan-outs, %d deltas, %d migrations, %d failovers, %d demotions, routing epoch %d); bye",
+		st.Queries, st.Fanouts, st.DeltasApplied, st.Migrations, st.Failovers, st.Demotions, st.RoutingEpoch)
 }
 
 // waitAndShutdown blocks on SIGINT/SIGTERM or serve-loop death, then

@@ -122,8 +122,17 @@ type Config struct {
 	// consistent hashing. Empty peers means the client is nil-like:
 	// every lookup misses without a fill.
 	Peers []string
-	// HTTP overrides the transport (tests).
+	// HTTP overrides the transport (tests). When nil, peer traffic runs
+	// on a private client bounded by PeerTimeout — never on
+	// http.DefaultClient, whose missing timeout would let one hung peer
+	// wedge the query path that treats every peer failure as a miss.
 	HTTP *http.Client
+	// PeerTimeout bounds every peer exchange on the default transport
+	// (ignored when HTTP is set — the caller owns its budgets then). A
+	// peer slower than this is slower than origin, so failing toward
+	// origin is strictly better than waiting. 0 picks
+	// DefaultPeerTimeout.
+	PeerTimeout time.Duration
 	// Obs records cache_get / cache_fill timings when set.
 	Obs *obs.Registry
 	// MinAccesses overrides the admission threshold — how many times a
@@ -173,6 +182,12 @@ type Client struct {
 // two-peer tier splits keys close to evenly.
 const ringVnodes = 64
 
+// DefaultPeerTimeout is the dial-to-drain budget for one cache-peer
+// exchange when Config.HTTP is nil. The tier is an optimization: a peer
+// that cannot answer inside it reads as a miss and the query serves
+// from origin.
+const DefaultPeerTimeout = 2 * time.Second
+
 // NewClient builds a cache-tier client over the given peers.
 func NewClient(cfg Config) *Client {
 	c := &Client{
@@ -201,8 +216,16 @@ func NewClient(cfg Config) *Client {
 		tracked = 4096
 	}
 	c.freq = workload.NewAccessStats(tracked)
+	hc := cfg.HTTP
+	if hc == nil {
+		to := cfg.PeerTimeout
+		if to <= 0 {
+			to = DefaultPeerTimeout
+		}
+		hc = &http.Client{Timeout: to}
+	}
 	for i, url := range cfg.Peers {
-		c.peers = append(c.peers, &wire.Client{BaseURL: strings.TrimRight(url, "/"), HTTP: cfg.HTTP})
+		c.peers = append(c.peers, &wire.Client{BaseURL: strings.TrimRight(url, "/"), HTTP: hc})
 		for v := 0; v < ringVnodes; v++ {
 			h := fnv.New32a()
 			fmt.Fprintf(h, "%s#%d", url, v)

@@ -3,6 +3,7 @@ package cluster_test
 import (
 	"bytes"
 	"fmt"
+	"net/http"
 	"net/http/httptest"
 	"strings"
 	"sync"
@@ -358,6 +359,89 @@ func TestCachePoisonedEntriesFallThrough(t *testing.T) {
 	st := cf.coord.Stats()
 	if st.Cache.Fallthroughs == 0 {
 		t.Fatalf("poison was not detected: %+v", st.Cache)
+	}
+}
+
+// TestCacheDeadPeerFailsToOrigin: the cache tier is an optimization, so
+// a dead peer — refusing connections, hung at the transport, or hung
+// mid-exchange — must read as a miss and fail toward origin within the
+// peer budget, never wedge the query path. The hung-peer row is the
+// regression pin for the nil-Config.HTTP bug: peer traffic used to ride
+// http.DefaultClient, whose missing timeout blocked the first lookup
+// forever.
+func TestCacheDeadPeerFailsToOrigin(t *testing.T) {
+	cases := []struct {
+		name string
+		// peer returns the peer URL and the cache-client HTTP override
+		// (nil = the default bounded client the fix installs).
+		peer func(t *testing.T) (string, *http.Client)
+	}{
+		{"refused-connection", func(t *testing.T) (string, *http.Client) {
+			// A peer that is simply gone: closed listener, nil HTTP — the
+			// default client path.
+			ts := httptest.NewServer(cache.NewServer(0).Handler())
+			ts.Close()
+			return ts.URL, nil
+		}},
+		{"hung-peer-default-client", func(t *testing.T) (string, *http.Client) {
+			// A peer that accepts and never answers, against the default
+			// client: only the PeerTimeout budget gets the query to origin.
+			block := make(chan struct{})
+			ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+				<-block
+			}))
+			t.Cleanup(ts.Close)
+			t.Cleanup(func() { close(block) }) // unblock handlers before Close
+			return ts.URL, nil
+		}},
+		{"injected-kill", func(t *testing.T) (string, *http.Client) {
+			ts := httptest.NewServer(cache.NewServer(0).Handler())
+			t.Cleanup(ts.Close)
+			inj := cluster.NewInjector(nil)
+			inj.Set(cluster.Fault{Path: "/cache", Stage: cluster.StageRoundTrip, Mode: cluster.Kill})
+			return ts.URL, &http.Client{Transport: inj, Timeout: 250 * time.Millisecond}
+		}},
+		{"injected-hang", func(t *testing.T) (string, *http.Client) {
+			ts := httptest.NewServer(cache.NewServer(0).Handler())
+			t.Cleanup(ts.Close)
+			inj := cluster.NewInjector(nil)
+			inj.Set(cluster.Fault{Path: "/cache", Stage: cluster.StageRoundTrip, Mode: cluster.Hang})
+			return ts.URL, &http.Client{Transport: inj, Timeout: 250 * time.Millisecond}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			url, hc := tc.peer(t)
+			cc := cache.NewClient(cache.Config{
+				Peers:       []string{url},
+				HTTP:        hc,
+				MinAccesses: 1,
+				PeerTimeout: 250 * time.Millisecond,
+			})
+			f := newClusterCfg(t, 96, 3, 2, nil, func(cfg *cluster.Config) { cfg.Cache = cc })
+			coordTS := httptest.NewServer(f.coord.Handler())
+			defer coordTS.Close()
+
+			q := engine.Query{Relation: "Uniform"}
+			t0 := time.Now()
+			rows, err := f.verifyStream(coordTS.URL, q, 8)
+			elapsed := time.Since(t0)
+			if err != nil {
+				t.Fatalf("query with a dead cache peer failed: %v", err)
+			}
+			if rows != 96 {
+				t.Fatalf("verified %d rows, want 96", rows)
+			}
+			// One whole-stream probe plus three sub-stream probes, each
+			// bounded by the 250ms budget, plus origin time: 4 seconds is
+			// generous, and infinity is the bug.
+			if elapsed > 4*time.Second {
+				t.Fatalf("query took %v against a dead peer; budget not enforced", elapsed)
+			}
+			if cc.Stats().PeerErrors == 0 {
+				t.Fatal("dead peer produced no peer errors; the tier was never consulted")
+			}
+		})
 	}
 }
 

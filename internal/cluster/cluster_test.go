@@ -54,6 +54,7 @@ type fix struct {
 
 	nodes []*server.Server
 	urls  []string
+	srvs  []*httptest.Server // for SIGKILL-equivalent death (CloseClientConnections)
 	coord *cluster.Coordinator
 	v     *verify.Verifier
 }
@@ -101,6 +102,7 @@ func newClusterCfg(t *testing.T, n, k, nNodes int, hc *http.Client, mod func(*cl
 		t.Cleanup(s.Close)
 		f.nodes = append(f.nodes, s)
 		f.urls = append(f.urls, ts.URL)
+		f.srvs = append(f.srvs, ts)
 	}
 	cfg := cluster.Config{
 		Hasher: h,

@@ -83,7 +83,26 @@ type Config struct {
 	// SlowThreshold overrides the slow-query retention threshold when
 	// non-zero (negative disables retention).
 	SlowThreshold time.Duration
+	// Replicas is the replication factor R: Place installs every shard's
+	// slice on R distinct nodes and queries pick the least-loaded live
+	// replica. 0 or 1 keeps single-copy placement (the pre-replication
+	// behavior); values beyond len(Nodes) are clamped.
+	Replicas int
+	// LeaseTTL is how long one acknowledged heartbeat keeps a node live
+	// for routing; 0 = DefaultLeaseTTL. Expiry demotes a node — it is
+	// skipped while live siblings exist — but never deletes it.
+	LeaseTTL time.Duration
+	// Clock overrides lease time (deterministic expiry tests); nil =
+	// time.Now.
+	Clock func() time.Time
+	// Advertise identifies this coordinator in lease grants (its URL in
+	// deployments, any tag in tests). Nodes let a different coordinator
+	// name take over a lease regardless of sequence numbers.
+	Advertise string
 }
+
+// DefaultLeaseTTL is the lease duration when Config.LeaseTTL is zero.
+const DefaultLeaseTTL = 15 * time.Second
 
 // Coordinator owns the routing table of one partitioned publication and
 // serves the user-facing API over remote shard nodes. All exported
@@ -103,9 +122,21 @@ type Coordinator struct {
 
 	// mu guards the routing table; repoch counts its versions. Queries
 	// read the table lock-free of ctl; migrations swing it atomically.
+	// route[shard] is the shard's replica set; index 0 is the primary
+	// (the compatibility face of Routing() and the write path's seam
+	// canon), the rest are siblings queries fail over to.
 	mu     sync.RWMutex
-	route  []string
+	route  [][]string
 	repoch atomic.Uint64
+
+	// Replication: per-node lease/health state (see replica.go), the
+	// replication factor, and the heartbeat identity.
+	replicas  int
+	leaseTTL  time.Duration
+	clock     func() time.Time
+	advertise string
+	health    map[string]*nodeHealth
+	hbSeq     atomic.Uint64
 
 	// ctl serializes control-plane writes: distributed deltas and
 	// migration cutovers. Queries never take it.
@@ -122,6 +153,8 @@ type Coordinator struct {
 	queries, streams, fanouts, errors atomic.Uint64
 	handoffRetries, routingRetries    atomic.Uint64
 	deltasApplied, migrations         atomic.Uint64
+	failovers, demotions, promotions  atomic.Uint64
+	quarantines, leaseRenewals        atomic.Uint64
 
 	// obs holds the coordinator's stage histograms and slow log; the hot
 	// pin/merge paths cache their histogram pointers.
@@ -141,6 +174,17 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.Hasher == nil {
 		cfg.Hasher = hashx.New()
 	}
+	replicas := cfg.Replicas
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > len(cfg.Nodes) {
+		replicas = len(cfg.Nodes)
+	}
+	leaseTTL := cfg.LeaseTTL
+	if leaseTTL <= 0 {
+		leaseTTL = DefaultLeaseTTL
+	}
 	c := &Coordinator{
 		h:         cfg.Hasher,
 		pub:       cfg.Pub,
@@ -152,12 +196,21 @@ func New(cfg Config) (*Coordinator, error) {
 		chunkRows: cfg.ChunkRows,
 		nodes:     append([]string(nil), cfg.Nodes...),
 		clients:   make(map[string]*wire.Client, len(cfg.Nodes)),
-		route:     make([]string, cfg.Spec.K()),
+		route:     make([][]string, cfg.Spec.K()),
+		replicas:  replicas,
+		leaseTTL:  leaseTTL,
+		clock:     cfg.Clock,
+		advertise: cfg.Advertise,
+		health:    make(map[string]*nodeHealth, len(cfg.Nodes)),
 		cache:     cfg.Cache,
 		cepochs:   make([]atomic.Uint64, cfg.Spec.K()),
 	}
+	if c.advertise == "" {
+		c.advertise = "coordinator"
+	}
 	for _, url := range c.nodes {
 		c.clients[url] = &wire.Client{BaseURL: url, HTTP: cfg.HTTP}
+		c.health[url] = &nodeHealth{}
 	}
 	reg := cfg.Obs
 	if reg == nil {
@@ -184,11 +237,31 @@ func (c *Coordinator) Spec() partition.Spec { return c.spec }
 // RoutingEpoch returns the routing table's version counter.
 func (c *Coordinator) RoutingEpoch() uint64 { return c.repoch.Load() }
 
-// Routing snapshots the routing table: one node URL per shard.
+// Routing snapshots the routing table as one node URL per shard — the
+// primary of each replica set, which is what single-copy deployments
+// always had. ReplicaSets exposes the full sets.
 func (c *Coordinator) Routing() []string {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
-	return append([]string(nil), c.route...)
+	out := make([]string, len(c.route))
+	for i, set := range c.route {
+		if len(set) > 0 {
+			out[i] = set[0]
+		}
+	}
+	return out
+}
+
+// ReplicaSets snapshots every shard's replica set; index 0 of each set
+// is the primary.
+func (c *Coordinator) ReplicaSets() [][]string {
+	c.mu.RLock()
+	defer c.mu.RUnlock()
+	out := make([][]string, len(c.route))
+	for i, set := range c.route {
+		out[i] = append([]string(nil), set...)
+	}
+	return out
 }
 
 // client resolves a node URL to its wire client.
@@ -200,17 +273,19 @@ func (c *Coordinator) client(url string) (*wire.Client, error) {
 	return cl, nil
 }
 
-// routeFor resolves a shard to its assigned node.
+// routeFor resolves a shard to its primary node — the control-plane
+// anchor (migration source, seam canon). The read path goes through
+// pickReplica instead.
 func (c *Coordinator) routeFor(shard int) (string, error) {
 	c.mu.RLock()
 	defer c.mu.RUnlock()
 	if shard < 0 || shard >= len(c.route) {
 		return "", fmt.Errorf("%w: shard %d of %d", ErrNoRoute, shard, len(c.route))
 	}
-	if c.route[shard] == "" {
+	if len(c.route[shard]) == 0 || c.route[shard][0] == "" {
 		return "", fmt.Errorf("%w: shard %d", ErrNoRoute, shard)
 	}
-	return c.route[shard], nil
+	return c.route[shard][0], nil
 }
 
 // contentEpochs snapshots the per-shard content epoch vector. Reads are
@@ -300,8 +375,10 @@ func (c *Coordinator) cacheStreamKey(roleName string, q engine.Query, chunkRows 
 }
 
 // Place distributes a validated partition set across the nodes
-// round-robin and installs every slice — the fresh-deployment path. The
-// set must match the coordinator's spec.
+// round-robin and installs every slice on R distinct nodes (replica r of
+// shard i lands on node (i+r) mod N) — the fresh-deployment path. The
+// set must match the coordinator's spec. With Replicas 1 the layout is
+// exactly the pre-replication placement.
 func (c *Coordinator) Place(set *partition.Set) error {
 	if !set.Spec.Same(c.spec) {
 		return fmt.Errorf("%w: placing v%d over coordinator v%d", ErrSpecMismatch, set.Spec.Version, c.spec.Version)
@@ -309,13 +386,15 @@ func (c *Coordinator) Place(set *partition.Set) error {
 	if len(set.Slices) != c.spec.K() {
 		return fmt.Errorf("%w: %d slices for %d shards", partition.ErrSetInvalid, len(set.Slices), c.spec.K())
 	}
-	assign := make([]string, c.spec.K())
+	assign := make([][]string, c.spec.K())
 	for i, sl := range set.Slices {
-		url := c.nodes[i%len(c.nodes)]
-		if err := c.installSlice(url, i, sl); err != nil {
-			return fmt.Errorf("cluster: installing shard %d on %s: %w", i, url, err)
+		for r := 0; r < c.replicas; r++ {
+			url := c.nodes[(i+r)%len(c.nodes)]
+			if err := c.installSlice(url, i, sl); err != nil {
+				return fmt.Errorf("cluster: installing shard %d replica %d on %s: %w", i, r, url, err)
+			}
+			assign[i] = append(assign[i], url)
 		}
-		assign[i] = url
 	}
 	c.mu.Lock()
 	c.route = assign
@@ -432,7 +511,6 @@ const pinRetries = 8
 // with the cache bypassed — a forged-but-digest-consistent entry costs
 // one retry, never a wrong or stale answer.
 func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.SubRange, chunkRows int, span *obs.Span) ([]engine.ShardFeed, engine.PrevG, error) {
-	rel := c.spec.Relation
 	var trace string
 	if span != nil {
 		trace = span.Trace
@@ -443,6 +521,9 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 		repoch := c.repoch.Load()
 		feeds := make([]engine.ShardFeed, 0, len(sub))
 		hellos := make([]wire.NodeHello, 0, len(sub))
+		// urls records which node served each feed ("" for cache hits) so
+		// a failed seam check can be attributed to a lying replica.
+		urls := make([]string, 0, len(sub))
 		ok := true
 		// staleRouting classifies a not-hosting refusal: transparent
 		// retry when the table moved under us, hard error otherwise.
@@ -460,16 +541,6 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 		// with cached feeds in play drops them and re-pins cache-free.
 		var cachedKeys []string
 		for i, sr := range sub {
-			url, err := c.routeFor(sr.Shard)
-			if err != nil {
-				closeFeeds(feeds)
-				return nil, nil, err
-			}
-			cl, err := c.client(url)
-			if err != nil {
-				closeFeeds(feeds)
-				return nil, nil, err
-			}
 			var fill *cache.Fill
 			served := false
 			if c.cache != nil && !bypassCache {
@@ -480,47 +551,35 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				if hit != nil {
 					feeds = append(feeds, &replayFeed{shard: sr.Shard, hit: hit})
 					hellos = append(hellos, hit.Hello)
+					urls = append(urls, "")
 					cachedKeys = append(cachedKeys, k.String())
 					served = true
 				}
 				fill = f
 			}
 			if !served {
-				var tee io.Writer
-				if fill != nil {
-					tee = fill
-				}
-				ns, err := cl.ShardStreamTee(wire.ShardStreamRequest{
+				ff, url, err := c.openFeed(wire.ShardStreamRequest{
 					Role: roleName, Query: q, Shard: sr.Shard,
 					Lo: sr.Lo, Hi: sr.Hi,
 					First: i == 0, Last: i == len(sub)-1,
 					ChunkRows: chunkRows, RoutingEpoch: repoch,
 					Trace: trace,
-				}, tee)
+				}, fill, span)
 				if err != nil {
-					if fill != nil {
-						fill.Abort()
-					}
 					closeFeeds(feeds)
 					if wire.IsNotHosting(err) {
-						if herr := staleRouting(sr.Shard, url, err); herr != nil {
+						// Every usable replica refused the shard: the table
+						// and the replica set disagree about placement.
+						if herr := staleRouting(sr.Shard, "(all replicas)", err); herr != nil {
 							return nil, nil, herr
 						}
 						break
 					}
-					return nil, nil, fmt.Errorf("cluster: shard %d at %s: %w", sr.Shard, url, err)
+					return nil, nil, err
 				}
-				rf := &remoteFeed{
-					ns: ns, shard: sr.Shard, relation: rel,
-					url: url, span: span,
-					hWait: c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
-				}
-				if fill != nil {
-					feeds = append(feeds, &fillFeed{remoteFeed: rf, fill: fill})
-				} else {
-					feeds = append(feeds, rf)
-				}
-				hellos = append(hellos, ns.Hello())
+				feeds = append(feeds, ff)
+				hellos = append(hellos, ff.hello)
+				urls = append(urls, url)
 			}
 			tSeam := time.Now()
 			seamOK := i == 0 || hellos[i-1].Edges.HandoffOK(hellos[i].Edges)
@@ -529,12 +588,16 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 			}
 			if !seamOK {
 				// A boundary change is mid-cutover somewhere between these
-				// two nodes' pins — or a digest-consistent forged cache
-				// entry; re-pin the whole set, without the cache if it was
-				// in play.
+				// two nodes' pins — or a replica lying about its seam
+				// material, or a digest-consistent forged cache entry.
+				// Attribute first (a Byzantine replica caught here is
+				// quarantined, so the re-pin lands on a sibling), then
+				// re-pin the whole set, without the cache if it was in play.
 				c.handoffRetries.Add(1)
 				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", sub[i-1].Shard, sr.Shard)
 				ok = false
+				c.investigateSeam(sub[i-1].Shard, urls[i-1], hellos[i-1])
+				c.investigateSeam(sr.Shard, urls[i], hellos[i])
 				if len(cachedKeys) > 0 {
 					bypassCache = true
 					for _, ks := range cachedKeys {
@@ -551,17 +614,7 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 			// fetch at footer time could observe a later epoch than the
 			// pinned first slice.
 			prev := sub[0].Shard - 1
-			url, err := c.routeFor(prev)
-			if err != nil {
-				closeFeeds(feeds)
-				return nil, nil, err
-			}
-			cl, err := c.client(url)
-			if err != nil {
-				closeFeeds(feeds)
-				return nil, nil, err
-			}
-			resp, err := cl.ShardEdges(wire.ShardRef{Relation: rel, Shard: prev})
+			resp, url, err := c.probeEdges(prev)
 			switch {
 			case err != nil && wire.IsNotHosting(err):
 				if herr := staleRouting(prev, url, err); herr != nil {
@@ -575,6 +628,7 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 				c.handoffRetries.Add(1)
 				lastErr = fmt.Errorf("hand-off between shards %d and %d disagrees", prev, sub[0].Shard)
 				ok = false
+				c.investigateSeam(sub[0].Shard, urls[0], hellos[0])
 				if len(cachedKeys) > 0 {
 					bypassCache = true
 					for _, ks := range cachedKeys {
@@ -593,6 +647,111 @@ func (c *Coordinator) pinFeeds(roleName string, q engine.Query, sub []partition.
 		runtime.Gosched()
 	}
 	return nil, nil, fmt.Errorf("%w: %v", ErrClusterPin, lastErr)
+}
+
+// openFeed opens one shard sub-stream on the best usable replica. A
+// candidate that dies at the transport level (or hangs past the client
+// budget) before delivering its hello is skipped for the next sibling —
+// the pre-hello failover path; a candidate that answers not-hosting is
+// likewise skipped, and only when every candidate refused does the
+// not-hosting surface (the caller's stale-routing classification).
+// The successful feed is wrapped for mid-stream failover: its hello's
+// digest pins the slice content, so a later death can be resumed
+// byte-exactly on any sibling holding the identical slice.
+func (c *Coordinator) openFeed(req wire.ShardStreamRequest, fill *cache.Fill, span *obs.Span) (*failoverFeed, string, error) {
+	tried := make(map[string]bool)
+	allRefused := true
+	var lastErr error
+	failedOver := false
+	for {
+		url, perr := c.pickReplica(req.Shard, tried)
+		if perr != nil {
+			if fill != nil {
+				fill.Abort()
+			}
+			if lastErr == nil {
+				return nil, "", perr
+			}
+			if allRefused {
+				return nil, "", lastErr
+			}
+			return nil, "", fmt.Errorf("cluster: shard %d: every replica failed: %w", req.Shard, lastErr)
+		}
+		tried[url] = true
+		cl := c.clients[url]
+		if cl == nil {
+			continue
+		}
+		var tee io.Writer
+		if fill != nil {
+			tee = fill
+		}
+		t0 := time.Now()
+		ns, err := cl.ShardStreamTee(req, tee)
+		if err != nil {
+			if wire.IsNotHosting(err) {
+				lastErr = err
+				continue
+			}
+			allRefused = false
+			failedOver = true
+			lastErr = fmt.Errorf("cluster: shard %d at %s: %w", req.Shard, url, err)
+			if fill != nil {
+				// The fill may hold partial bytes from the dead attempt;
+				// it cannot back the sibling's stream.
+				fill.Abort()
+				fill = nil
+			}
+			continue
+		}
+		if failedOver {
+			c.failovers.Add(1)
+			c.obs.Hist(obs.StageFailover).ObserveSince(t0)
+			span.Add(obs.StageFailover, time.Since(t0))
+		}
+		hello := ns.Hello()
+		if nh := c.health[url]; nh != nil {
+			nh.inflight.Add(1)
+		}
+		rf := &remoteFeed{
+			ns: ns, shard: req.Shard, relation: c.spec.Relation,
+			url: url, span: span,
+			hWait: c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
+		}
+		return &failoverFeed{
+			c: c, f: rf, fill: fill, req: req,
+			hello: hello, digest: hello.Digest.Clone(),
+			tried: tried, span: span,
+		}, url, nil
+	}
+}
+
+// probeEdges reads a shard's edge material from the first replica that
+// answers — the control-plane analogue of openFeed's candidate loop.
+func (c *Coordinator) probeEdges(shard int) (wire.EdgeResponse, string, error) {
+	tried := make(map[string]bool)
+	var lastErr error
+	var lastURL string
+	for {
+		url, perr := c.pickReplica(shard, tried)
+		if perr != nil {
+			if lastErr != nil {
+				return wire.EdgeResponse{}, lastURL, lastErr
+			}
+			return wire.EdgeResponse{}, "", perr
+		}
+		tried[url] = true
+		cl := c.clients[url]
+		if cl == nil {
+			continue
+		}
+		resp, err := cl.ShardEdges(wire.ShardRef{Relation: c.spec.Relation, Shard: shard})
+		if err != nil {
+			lastErr, lastURL = err, url
+			continue
+		}
+		return resp, url, nil
+	}
 }
 
 func closeFeeds(feeds []engine.ShardFeed) {
@@ -619,6 +778,55 @@ func (c *Coordinator) Query(roleName string, q engine.Query) (*engine.Result, er
 	return res, nil
 }
 
+// NodeStat is one node's lease/health view in Stats and /statsz.
+type NodeStat struct {
+	URL string
+	// State is live, expired or quarantined (see replica.go).
+	State string
+	// LeaseRenewals counts acknowledged heartbeats; LeaseEpoch is the
+	// routing epoch the node last echoed; LeaseExpiry is the current
+	// grant's deadline (zero until a first grant).
+	LeaseRenewals uint64
+	LeaseEpoch    uint64
+	LeaseExpiry   time.Time
+	// Hosted is the node's self-reported hosted-shard count at the last
+	// heartbeat; Inflight is the coordinator-side open sub-stream gauge.
+	Hosted   int
+	Inflight int64
+	// LastErr is the last heartbeat failure, cleared on renewal.
+	LastErr string `json:",omitempty"`
+	// QuarantineReason records why the node was drained, when it is.
+	QuarantineReason string `json:",omitempty"`
+}
+
+// NodeStats snapshots every node's lease/health view.
+func (c *Coordinator) NodeStats() []NodeStat {
+	out := make([]NodeStat, 0, len(c.nodes))
+	for _, url := range c.nodes {
+		nh := c.health[url]
+		if nh == nil {
+			continue
+		}
+		nh.mu.Lock()
+		ns := NodeStat{
+			URL:              url,
+			State:            c.stateLocked(nh),
+			LeaseRenewals:    nh.renewals,
+			LeaseEpoch:       nh.leaseEpoch,
+			Hosted:           nh.hosted,
+			Inflight:         nh.inflight.Load(),
+			LastErr:          nh.lastErr,
+			QuarantineReason: nh.reason,
+		}
+		if nh.granted {
+			ns.LeaseExpiry = nh.expiry
+		}
+		nh.mu.Unlock()
+		out = append(out, ns)
+	}
+	return out
+}
+
 // Stats is the coordinator's /statsz snapshot.
 type Stats struct {
 	Queries, Streams, Fanouts, Errors uint64
@@ -626,10 +834,23 @@ type Stats struct {
 	// counts pins retried after a node's stale-routing refusal.
 	HandoffRetries, RoutingRetries uint64
 	DeltasApplied, Migrations      uint64
-	RoutingEpoch                   uint64
-	SpecVersion                    uint64
-	// Routing maps shard index to assigned node URL.
+	// Failovers counts sub-streams re-pinned to a sibling replica (both
+	// pre-hello skips of dead candidates and mid-stream digest-pinned
+	// re-opens). Demotions/Promotions count lease-expiry transitions;
+	// Quarantines counts nodes drained on Byzantine evidence;
+	// LeaseRenewals counts acknowledged heartbeats.
+	Failovers, Demotions, Promotions uint64
+	Quarantines, LeaseRenewals       uint64
+	RoutingEpoch                     uint64
+	SpecVersion                      uint64
+	// Routing maps shard index to its primary node URL (the single-copy
+	// compatibility view); ReplicaSets carries the full sets when R > 1.
 	Routing []string
+	// Replicas is the configured replication factor.
+	Replicas    int
+	ReplicaSets [][]string
+	// Nodes is the per-node lease/health view.
+	Nodes []NodeStat
 	// Cache carries the edge-cache tier counters when the tier is
 	// configured.
 	Cache *cache.ClientStats
@@ -655,9 +876,17 @@ func (c *Coordinator) Stats() Stats {
 		RoutingRetries: c.routingRetries.Load(),
 		DeltasApplied:  c.deltasApplied.Load(),
 		Migrations:     c.migrations.Load(),
+		Failovers:      c.failovers.Load(),
+		Demotions:      c.demotions.Load(),
+		Promotions:     c.promotions.Load(),
+		Quarantines:    c.quarantines.Load(),
+		LeaseRenewals:  c.leaseRenewals.Load(),
 		RoutingEpoch:   c.repoch.Load(),
 		SpecVersion:    c.spec.Version,
 		Routing:        c.Routing(),
+		Replicas:       c.replicas,
+		ReplicaSets:    c.ReplicaSets(),
+		Nodes:          c.NodeStats(),
 	}
 }
 
@@ -701,6 +930,11 @@ func registerCoordinator(c *Coordinator) {
 				agg.RoutingRetries += st.RoutingRetries
 				agg.DeltasApplied += st.DeltasApplied
 				agg.Migrations += st.Migrations
+				agg.Failovers += st.Failovers
+				agg.Demotions += st.Demotions
+				agg.Promotions += st.Promotions
+				agg.Quarantines += st.Quarantines
+				agg.LeaseRenewals += st.LeaseRenewals
 			}
 			return agg
 		}))

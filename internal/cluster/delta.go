@@ -30,6 +30,17 @@ import (
 //     deferred.
 //  4. commit — each node publishes its staged slices.
 //
+// Replication makes the write path write-all: each shard's sub-batch
+// goes to every non-quarantined replica, and the staged edge material
+// must agree across a shard's replicas before anything commits —
+// identical copies staging identical ops stage identical edges, so any
+// disagreement means the copies had already diverged and committing
+// would fork them (ErrReplicaDiverged). A replica that is unreachable
+// fails the delta: availability under node death is the read path's
+// property (failover); the write path prefers refusal over divergence —
+// drop or re-prove the dead replica to restore writes (see
+// docs/OPERATIONS.md).
+//
 // Any failure before commit aborts every staged transaction and leaves
 // all published epochs untouched. The commit fan-out itself is not
 // atomic across nodes — the same per-shard non-atomicity the in-process
@@ -60,9 +71,8 @@ func (c *Coordinator) ApplyDelta(d delta.Delta) (uint64, error) {
 func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 	k := c.spec.K()
 
-	// Route every op to its owning shard, then group shards by node,
-	// preserving op order within each node's batch.
-	nodeOps := map[string][]delta.Op{}
+	// Route every op to its owning shard, preserving op order per shard.
+	shardOps := map[int][]delta.Op{}
 	for _, op := range d.Ops {
 		var shard int
 		switch {
@@ -77,21 +87,54 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
 			}
 		}
-		url, err := c.routeFor(shard)
-		if err != nil {
-			return 0, err
-		}
-		nodeOps[url] = append(nodeOps[url], op)
+		shardOps[shard] = append(shardOps[shard], op)
 	}
-	if len(nodeOps) == 0 {
+	if len(shardOps) == 0 {
 		return 0, fmt.Errorf("cluster: empty delta")
 	}
 
-	// Phase 1: prepare on every affected node.
+	// Fan each shard's sub-batch to every writable replica. opsShards
+	// marks shards carrying ops (as opposed to neighbours staged only by
+	// co-hosted stitching or mirror fixes) — the set whose cross-replica
+	// agreement is checkable already at prepare.
+	opsShards := map[int]bool{}
+	nodeOps := map[string][]delta.Op{}
+	for _, shard := range sortedInts(shardOps) {
+		opsShards[shard] = true
+		urls, err := c.writeReplicas(shard)
+		if err != nil {
+			return 0, err
+		}
+		for _, url := range urls {
+			nodeOps[url] = append(nodeOps[url], shardOps[shard]...)
+		}
+	}
+
+	// Phase 1: prepare on every affected node. stagedOn[shard][url] is
+	// the staged edge material per replica; a shard's replicas must
+	// converge on identical material before commit.
 	tPhase := time.Now()
 	tokens := map[string]uint64{}
-	staged := map[int]partition.Edges{} // staged seam material per shard
-	stagedAt := map[int]string{}        // which node stages which shard
+	stagedOn := map[int]map[string]partition.Edges{}
+	record := func(shard int, url string, e partition.Edges) {
+		if stagedOn[shard] == nil {
+			stagedOn[shard] = map[string]partition.Edges{}
+		}
+		stagedOn[shard][url] = e
+	}
+	// canon returns one replica's staged edges for a shard. The records a
+	// caller reads from it (owned records, for mirror pushes and seam
+	// checks) are replica-independent: stitching and mirror fixes touch
+	// only context records, and the cross-replica agreement checks make
+	// any drift an abort rather than a silent choice.
+	canon := func(shard int) (partition.Edges, bool) {
+		m := stagedOn[shard]
+		if len(m) == 0 {
+			return partition.Edges{}, false
+		}
+		urls := sortedKeys(m)
+		return m[urls[0]], true
+	}
 	abort := func() {
 		for url, tok := range tokens {
 			if cl, err := c.client(url); err == nil {
@@ -112,42 +155,54 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 		}
 		tokens[url] = resp.Token
 		for _, m := range resp.Modified {
-			staged[m.Shard] = m.Edges
-			stagedAt[m.Shard] = url
+			if opsShards[m.Shard] {
+				// Identical copies staging identical sub-batches must stage
+				// identical owned records. Context records are exempt until
+				// the mirror-fix phase: a replica co-hosting the neighbouring
+				// ops-shard stitches its context during prepare, a sibling
+				// that does not converges in phase 2 — the full six-record
+				// agreement is re-checked there.
+				for prior, e := range stagedOn[m.Shard] {
+					if !ownedEdgesEqual(e, m.Edges) {
+						abort()
+						return 0, fmt.Errorf("%w: shard %d staged differently on %s and %s",
+							ErrReplicaDiverged, m.Shard, prior, url)
+					}
+				}
+			}
+			record(m.Shard, url, m.Edges)
 		}
 	}
 
 	c.obs.Hist(obs.StageDeltaPrepare).ObserveSince(tPhase)
 
 	// Phase 2: cross-node mirror fixes. A staged shard's edge records
-	// must be mirrored by its neighbours; neighbours staged on the same
-	// node were stitched during prepare, the rest get a pushed fix.
+	// must be mirrored by every replica of its neighbours; replicas
+	// stitched during prepare (co-hosted on a preparing node) are already
+	// accurate, the rest get a pushed fix — which opens a fresh staging
+	// transaction on nodes not yet in the delta (token 0).
 	tPhase = time.Now()
-	modified := make([]int, 0, len(staged))
-	for i := range staged {
+	modified := make([]int, 0, len(stagedOn))
+	for i := range stagedOn {
 		modified = append(modified, i)
 	}
 	sort.Ints(modified)
-	currentEdges := func(shard int) (partition.Edges, string, error) {
-		if e, ok := staged[shard]; ok {
-			return e, stagedAt[shard], nil
-		}
-		url, err := c.routeFor(shard)
-		if err != nil {
-			return partition.Edges{}, "", err
+	currentEdgesOn := func(shard int, url string) (partition.Edges, error) {
+		if e, ok := stagedOn[shard][url]; ok {
+			return e, nil
 		}
 		cl, err := c.client(url)
 		if err != nil {
-			return partition.Edges{}, "", err
+			return partition.Edges{}, err
 		}
 		resp, err := cl.ShardEdges(wire.ShardRef{Relation: d.Relation, Shard: shard})
 		if err != nil {
-			return partition.Edges{}, "", err
+			return partition.Edges{}, err
 		}
-		return resp.Edges, url, nil
+		return resp.Edges, nil
 	}
-	pushMirror := func(neighbour int, left bool, want core.SignedRecord) error {
-		edges, url, err := currentEdges(neighbour)
+	pushMirror := func(neighbour int, url string, left bool, want core.SignedRecord) error {
+		edges, err := currentEdgesOn(neighbour, url)
 		if err != nil {
 			return err
 		}
@@ -169,26 +224,52 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 			return fmt.Errorf("mirror fix for shard %d on %s: %w", neighbour, url, err)
 		}
 		tokens[url] = resp.Token
-		staged[neighbour] = resp.Edges
-		stagedAt[neighbour] = url
+		record(neighbour, url, resp.Edges)
+		return nil
+	}
+	pushMirrors := func(neighbour int, left bool, want core.SignedRecord) error {
+		urls, err := c.writeReplicas(neighbour)
+		if err != nil {
+			return err
+		}
+		for _, url := range urls {
+			if err := pushMirror(neighbour, url, left, want); err != nil {
+				return err
+			}
+		}
 		return nil
 	}
 	for _, i := range modified {
-		e := staged[i]
+		e, _ := canon(i)
 		if i > 0 {
 			// Left neighbour's right context must mirror shard i's first
-			// owned record.
-			if err := pushMirror(i-1, false, e.Head[1]); err != nil {
+			// owned record — on every replica of the neighbour.
+			if err := pushMirrors(i-1, false, e.Head[1]); err != nil {
 				abort()
 				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
 			}
 		}
 		if i < k-1 {
 			// Right neighbour's left context must mirror shard i's last
-			// owned record.
-			if err := pushMirror(i+1, true, e.Tail[1]); err != nil {
+			// owned record — on every replica of the neighbour.
+			if err := pushMirrors(i+1, true, e.Tail[1]); err != nil {
 				abort()
 				return 0, fmt.Errorf("cluster: delta rejected: %w", err)
+			}
+		}
+	}
+
+	// With the mirror fixes in, every staged shard's replicas must hold
+	// identical edge material — the write-all agreement that keeps R
+	// copies one logical slice.
+	for _, shard := range sortedInts(stagedOn) {
+		m := stagedOn[shard]
+		urls := sortedKeys(m)
+		for _, url := range urls[1:] {
+			if !edgesEqual(m[urls[0]], m[url]) {
+				abort()
+				return 0, fmt.Errorf("%w: shard %d staged differently on %s and %s after mirror fixes",
+					ErrReplicaDiverged, shard, urls[0], url)
 			}
 		}
 	}
@@ -199,13 +280,18 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 	// the nodes deferred, plus the digest compare, for every seam
 	// adjacent to anything staged.
 	tPhase = time.Now()
-	stagedNow := make([]int, 0, len(staged))
-	for i := range staged {
-		stagedNow = append(stagedNow, i)
+	currentEdges := func(shard int) (partition.Edges, error) {
+		if e, ok := canon(shard); ok {
+			return e, nil
+		}
+		url, err := c.routeFor(shard)
+		if err != nil {
+			return partition.Edges{}, err
+		}
+		return currentEdgesOn(shard, url)
 	}
-	sort.Ints(stagedNow)
 	seams := map[int]bool{} // seam x joins shards x and x+1
-	for _, i := range stagedNow {
+	for _, i := range modified {
 		if i > 0 {
 			seams[i-1] = true
 		}
@@ -213,18 +299,13 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 			seams[i] = true
 		}
 	}
-	seamList := make([]int, 0, len(seams))
-	for x := range seams {
-		seamList = append(seamList, x)
-	}
-	sort.Ints(seamList)
-	for _, x := range seamList {
-		left, _, err := currentEdges(x)
+	for _, x := range sortedInts(seams) {
+		left, err := currentEdges(x)
 		if err != nil {
 			abort()
 			return 0, err
 		}
-		right, _, err := currentEdges(x + 1)
+		right, err := currentEdges(x + 1)
 		if err != nil {
 			abort()
 			return 0, err
@@ -240,11 +321,14 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 	// Phase 4: commit everywhere. Failures here are partial by nature;
 	// report them with the nodes that did commit so the operator can
 	// reconcile (the staged-versus-published divergence is visible in
-	// /shard/digest).
+	// /shard/digest). Each shard's content epoch is bumped once, at the
+	// first committing node staging it — the bump retires cached bytes,
+	// and one retirement per shard is exact.
 	tPhase = time.Now()
 	defer func() { c.obs.Hist(obs.StageDeltaCommit).ObserveSince(tPhase) }()
 	var epoch uint64
 	committed := make([]string, 0, len(tokens))
+	bumped := map[int]bool{}
 	for _, url := range sortedKeys(tokens) {
 		cl, err := c.client(url)
 		if err == nil {
@@ -259,18 +343,25 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 				url, len(committed), len(tokens), committed, err)
 		}
 		committed = append(committed, url)
-		// The instant this node publishes, its shards' served bytes can
-		// change; bump their content epochs so the edge cache's old keys
-		// die with the old epoch — exact invalidation, keyed to the same
-		// per-node non-atomicity readers already absorb by re-pinning.
 		var touched []int
-		for shard, at := range stagedAt {
-			if at == url {
+		for shard, on := range stagedOn {
+			if _, here := on[url]; here && !bumped[shard] {
 				touched = append(touched, shard)
+				bumped[shard] = true
 			}
 		}
 		sort.Ints(touched)
 		c.bumpShards(touched...)
 	}
 	return epoch, nil
+}
+
+// sortedInts returns a map's int keys in ascending order.
+func sortedInts[V any](m map[int]V) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
 }

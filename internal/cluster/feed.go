@@ -6,6 +6,7 @@ import (
 
 	"vcqr/internal/cache"
 	"vcqr/internal/engine"
+	"vcqr/internal/hashx"
 	"vcqr/internal/obs"
 	"vcqr/internal/wire"
 )
@@ -112,29 +113,160 @@ func (f *replayFeed) Foot() (engine.ShardFeedFoot, error) {
 
 func (f *replayFeed) Close() error { return nil }
 
-// fillFeed wraps a remoteFeed whose raw bytes are being teed into an
-// edge-cache fill: a cleanly drained foot commits the fill, anything
-// else (error, early close) aborts it. Commit/Abort are idempotent, so
-// the merger's close-everything error path is safe over a committed
-// feed.
-type fillFeed struct {
-	*remoteFeed
+// failoverFeed wraps a remoteFeed with mid-stream replica failover and
+// the optional edge-cache fill lifecycle:
+//
+//   - The hello's slice digest (captured at open) pins the content this
+//     feed committed to. When the live sub-stream dies mid-merge, every
+//     untried sibling replica is offered the same request; one whose
+//     hello carries the identical digest holds byte-identical slice
+//     content, so its chunk sequence (same query, same chunking) is
+//     byte-identical too — the already-delivered prefix is skipped and
+//     the merge continues as if nothing happened. The merged stream the
+//     client verifies never observes the failover.
+//   - A sibling at a different digest is NOT resumable: a delta landed
+//     between the pin and the death, and old content epochs exist only
+//     on the node that pinned them. The feed then surfaces the original
+//     error and the client-side retry re-pins at the fresh epoch — an
+//     honest failure, never a spliced stream (see DESIGN.md,
+//     "Replication").
+//   - A fill (cache tee of the raw bytes) commits only on a cleanly
+//     drained foot with no failover: after a failover the tee holds the
+//     dead stream's partial bytes and is aborted. Commit/Abort are
+//     idempotent, so the merger's close-everything error path is safe
+//     over a committed feed.
+type failoverFeed struct {
+	c    *Coordinator
+	f    *remoteFeed
 	fill *cache.Fill
+
+	// req re-opens the sub-stream on a sibling; hello/digest pin what
+	// the original replica promised; tried accumulates every node
+	// offered this sub-range (seeded by openFeed's candidate loop).
+	req    wire.ShardStreamRequest
+	hello  wire.NodeHello
+	digest hashx.Digest
+	tried  map[string]bool
+
+	delivered int
+	span      *obs.Span
+	closed    bool
 }
 
-func (f *fillFeed) Foot() (engine.ShardFeedFoot, error) {
-	foot, err := f.remoteFeed.Foot()
+func (ff *failoverFeed) Head() (engine.ShardHead, error) {
+	return engine.ShardHead{Shard: ff.f.shard, Left: ff.hello.Left}, nil
+}
+
+func (ff *failoverFeed) Next() (*engine.Chunk, error) {
+	for {
+		ch, err := ff.f.Next()
+		if err == nil {
+			ff.delivered++
+			return ch, nil
+		}
+		if err == io.EOF {
+			return nil, err
+		}
+		if !ff.failover() {
+			return nil, err
+		}
+	}
+}
+
+// failover re-pins the live sub-stream onto a digest-identical sibling,
+// skipping the already-delivered chunk prefix. Returns false when no
+// sibling can resume byte-exactly (none left, or none at the pinned
+// digest) — the caller then surfaces the original error.
+func (ff *failoverFeed) failover() bool {
+	t0 := time.Now()
+	if ff.fill != nil {
+		ff.fill.Abort()
+		ff.fill = nil
+	}
+	if len(ff.digest) == 0 {
+		return false // node predates digest-carrying hellos; nothing pins content
+	}
+	for {
+		url, err := ff.c.pickReplica(ff.req.Shard, ff.tried)
+		if err != nil {
+			return false
+		}
+		ff.tried[url] = true
+		cl := ff.c.clients[url]
+		if cl == nil {
+			continue
+		}
+		req := ff.req
+		req.RoutingEpoch = ff.c.repoch.Load()
+		ns, err := cl.ShardStreamTee(req, nil)
+		if err != nil {
+			continue
+		}
+		hello := ns.Hello()
+		if !hello.Digest.Equal(ff.digest) {
+			ns.Close() // different content version — not byte-resumable
+			continue
+		}
+		skipped := true
+		for i := 0; i < ff.delivered; i++ {
+			if _, serr := ns.Next(); serr != nil {
+				skipped = false
+				break
+			}
+		}
+		if !skipped {
+			ns.Close()
+			continue
+		}
+		old := ff.f
+		ff.f = &remoteFeed{
+			ns: ns, shard: old.shard, relation: old.relation,
+			url: url, span: old.span,
+			hWait:  ff.c.obs.Hist(obs.Labeled(obs.StageSubStream, "node", url)),
+			waitNS: old.waitNS,
+		}
+		if nh := ff.c.health[url]; nh != nil {
+			nh.inflight.Add(1)
+		}
+		if nh := ff.c.health[old.url]; nh != nil {
+			nh.inflight.Add(-1)
+		}
+		old.Close()
+		ff.c.failovers.Add(1)
+		ff.c.obs.Hist(obs.StageFailover).ObserveSince(t0)
+		ff.span.Add(obs.StageFailover, time.Since(t0))
+		return true
+	}
+}
+
+func (ff *failoverFeed) Foot() (engine.ShardFeedFoot, error) {
+	foot, err := ff.f.Foot()
 	if err != nil {
-		f.fill.Abort()
+		if ff.fill != nil {
+			ff.fill.Abort()
+			ff.fill = nil
+		}
 		return foot, err
 	}
-	tFill := time.Now()
-	f.fill.Commit()
-	f.span.Add(obs.StageCacheFill, time.Since(tFill))
+	if ff.fill != nil {
+		tFill := time.Now()
+		ff.fill.Commit()
+		ff.span.Add(obs.StageCacheFill, time.Since(tFill))
+		ff.fill = nil
+	}
 	return foot, nil
 }
 
-func (f *fillFeed) Close() error {
-	f.fill.Abort()
-	return f.remoteFeed.Close()
+func (ff *failoverFeed) Close() error {
+	if ff.fill != nil {
+		ff.fill.Abort()
+		ff.fill = nil
+	}
+	if !ff.closed {
+		ff.closed = true
+		if nh := ff.c.health[ff.f.url]; nh != nil {
+			nh.inflight.Add(-1)
+		}
+	}
+	return ff.f.Close()
 }

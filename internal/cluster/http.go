@@ -70,7 +70,56 @@ func (c *Coordinator) Handler() http.Handler {
 		json.NewEncoder(w).Encode(struct {
 			RoutingEpoch uint64
 			Routing      []string
-		}{c.RoutingEpoch(), c.Routing()})
+			Replicas     int
+			ReplicaSets  [][]string
+			Nodes        []NodeStat
+		}{c.RoutingEpoch(), c.Routing(), c.replicas, c.ReplicaSets(), c.NodeStats()})
+	})
+	mux.HandleFunc("/admin/replica", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		shard, err := strconv.Atoi(r.FormValue("shard"))
+		if err != nil {
+			http.Error(w, "shard must be an integer", http.StatusBadRequest)
+			return
+		}
+		add, drop := r.FormValue("add"), r.FormValue("drop")
+		switch {
+		case add != "" && drop == "":
+			err = c.AddReplica(shard, add)
+		case drop != "" && add == "":
+			err = c.DropReplica(shard, drop)
+		default:
+			http.Error(w, "exactly one of add= or drop= must name a node URL", http.StatusBadRequest)
+			return
+		}
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusConflict)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(struct {
+			Shard       int
+			ReplicaSets [][]string
+		}{shard, c.ReplicaSets()})
+	})
+	mux.HandleFunc("/admin/reinstate", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		node := r.FormValue("node")
+		if node == "" {
+			http.Error(w, "node must name a node URL", http.StatusBadRequest)
+			return
+		}
+		if !c.Reinstate(node) {
+			http.Error(w, "node unknown or not quarantined", http.StatusConflict)
+			return
+		}
+		fmt.Fprintln(w, "ok")
 	})
 	mux.HandleFunc("/admin/rebalance", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
@@ -247,6 +296,11 @@ func (c *Coordinator) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		{"vcqr_routing_retries_total", "Pins retried after stale-routing refusals.", st.RoutingRetries},
 		{"vcqr_deltas_applied_total", "Distributed deltas committed.", st.DeltasApplied},
 		{"vcqr_migrations_total", "Shard migrations completed.", st.Migrations},
+		{"vcqr_failovers_total", "Sub-streams re-pinned to a sibling replica.", st.Failovers},
+		{"vcqr_demotions_total", "Nodes demoted on lease expiry.", st.Demotions},
+		{"vcqr_promotions_total", "Demoted nodes promoted back on lease renewal.", st.Promotions},
+		{"vcqr_quarantines_total", "Nodes quarantined on Byzantine evidence.", st.Quarantines},
+		{"vcqr_lease_renewals_total", "Acknowledged lease heartbeats.", st.LeaseRenewals},
 	} {
 		obs.WriteCounterFamily(w, cv.name, cv.help,
 			[]obs.CounterSeries{{Labels: [][2]string{{"role", "coordinator"}}, Value: float64(cv.v)}})
@@ -336,6 +390,11 @@ func (c *Coordinator) handleMetricsJSON(w http.ResponseWriter, r *http.Request) 
 		"routing_retries": st.RoutingRetries,
 		"deltas_applied":  st.DeltasApplied,
 		"migrations":      st.Migrations,
+		"failovers":       st.Failovers,
+		"demotions":       st.Demotions,
+		"promotions":      st.Promotions,
+		"quarantines":     st.Quarantines,
+		"lease_renewals":  st.LeaseRenewals,
 	}
 	if st.Cache != nil {
 		counters["cache_hits"] = st.Cache.Hits

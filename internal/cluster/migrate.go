@@ -84,8 +84,10 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 	if err != nil {
 		return nil, err
 	}
-	if from == to {
-		return nil, fmt.Errorf("%w: shard %d at %s", ErrMigrateSameNode, shard, to)
+	for _, url := range c.replicaSet(shard) {
+		if url == to {
+			return nil, fmt.Errorf("%w: shard %d at %s", ErrMigrateSameNode, shard, to)
+		}
 	}
 	fromCl, err := c.client(from)
 	if err != nil {
@@ -175,7 +177,13 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 	}
 	rep.Records = target.Records
 	c.mu.Lock()
-	c.route[shard] = to
+	// Swing the primary; sibling replicas (R > 1) keep their place in
+	// the set — Rebalance moves one copy, not the whole set.
+	if len(c.route[shard]) == 0 {
+		c.route[shard] = []string{to}
+	} else {
+		c.route[shard][0] = to
+	}
 	c.mu.Unlock()
 	rep.RoutingEpoch = c.repoch.Add(1)
 	c.ctl.Unlock()
@@ -223,10 +231,15 @@ func (c *Coordinator) transfer(from, to *wire.Client, ref wire.ShardRef) error {
 
 // RecoveryReport summarizes a routing-table rebuild.
 type RecoveryReport struct {
-	// Assigned maps shard → node URL adopted into the routing table.
+	// Assigned maps shard → primary node URL adopted into the routing
+	// table; Replicas maps shard → the full adopted replica set
+	// (primary first).
 	Assigned map[int]string
-	// DroppedCopies lists redundant copies removed from losing nodes
-	// ("shard@node").
+	Replicas map[int][]string
+	// DroppedCopies lists diverged copies removed from losing nodes
+	// ("shard@node"). Copies identical to the winner are NOT dropped —
+	// under replication, double-hosting is the normal state, and every
+	// digest-identical copy is adopted into the shard's replica set.
 	DroppedCopies []string
 	// Diverged lists shards whose copies disagreed by digest — evidence
 	// of a migration interrupted between copy and swing. The copy that
@@ -242,11 +255,12 @@ type RecoveryReport struct {
 
 // Recover rebuilds the routing table by inventorying every node — the
 // restart path after a coordinator crash. Every shard must be hosted
-// somewhere; a shard hosted on several nodes (an interrupted migration's
-// double-serve window) is resolved by digest compare: identical copies
-// keep the first node and drop the rest, divergent copies keep the one
-// whose current digest differs from its install digest — the copy the
-// cluster has been writing to — and drop the idle transfer. If that
+// somewhere; a shard hosted on several nodes is resolved by digest
+// compare. Identical copies are a replica set — the normal state under
+// R-way replication — and are all adopted, first node as primary.
+// Divergent copies keep the one whose current digest differs from its
+// install digest — the copy the cluster has been writing to — and drop
+// the idle transfer (an interrupted migration's leftover). If that
 // signal does not single out one copy (both written to), the keep is
 // deterministic but reported as Ambiguous for the operator.
 func (c *Coordinator) Recover() (*RecoveryReport, error) {
@@ -278,8 +292,8 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 		}
 	}
 
-	rep := &RecoveryReport{Assigned: map[int]string{}}
-	assign := make([]string, c.spec.K())
+	rep := &RecoveryReport{Assigned: map[int]string{}, Replicas: map[int][]string{}}
+	assign := make([][]string, c.spec.K())
 	missing := []int{}
 	for shard := 0; shard < c.spec.K(); shard++ {
 		copies := candidates[shard]
@@ -313,19 +327,27 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 					rep.Ambiguous = append(rep.Ambiguous, shard)
 				}
 			}
-			for _, cp := range copies {
-				if cp.url == winner.url {
-					continue
-				}
-				if cl, err := c.client(cp.url); err == nil {
-					if err := cl.ShardRemove(wire.ShardRef{Relation: rel, Shard: shard}); err == nil {
-						rep.DroppedCopies = append(rep.DroppedCopies, fmt.Sprintf("%d@%s", shard, cp.url))
-					}
+		}
+		// Every copy digest-identical to the winner joins the replica
+		// set; diverged losers are dropped.
+		set := []string{winner.url}
+		for _, cp := range copies {
+			if cp.url == winner.url {
+				continue
+			}
+			if cp.hs.Digest.Equal(winner.hs.Digest) {
+				set = append(set, cp.url)
+				continue
+			}
+			if cl, err := c.client(cp.url); err == nil {
+				if err := cl.ShardRemove(wire.ShardRef{Relation: rel, Shard: shard}); err == nil {
+					rep.DroppedCopies = append(rep.DroppedCopies, fmt.Sprintf("%d@%s", shard, cp.url))
 				}
 			}
 		}
-		assign[shard] = winner.url
+		assign[shard] = set
 		rep.Assigned[shard] = winner.url
+		rep.Replicas[shard] = append([]string(nil), set...)
 	}
 	if len(missing) > 0 {
 		sort.Ints(missing)
@@ -343,4 +365,142 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 	sort.Ints(rep.Ambiguous)
 	sort.Strings(rep.DroppedCopies)
 	return rep, nil
+}
+
+// AddReplica copies a shard's slice from its primary to a new node and
+// joins that node to the shard's replica set — the grow-R path, and the
+// repair path after a replica was dropped. The copy follows the
+// Rebalance discipline (bounded catch-up outside the control lock, the
+// decisive digest compare under it) so the joined copy is proven
+// byte-identical at join time; no routing swing happens — the primary
+// stays, the set grows.
+func (c *Coordinator) AddReplica(shard int, to string) error {
+	toCl, err := c.client(to)
+	if err != nil {
+		return err
+	}
+	from, err := c.routeFor(shard)
+	if err != nil {
+		return err
+	}
+	for _, url := range c.replicaSet(shard) {
+		if url == to {
+			return fmt.Errorf("%w: shard %d at %s", ErrReplicaExists, shard, to)
+		}
+	}
+	fromCl, err := c.client(from)
+	if err != nil {
+		return err
+	}
+	ref := wire.ShardRef{Relation: c.spec.Relation, Shard: shard}
+	abort := func(err error) error {
+		toCl.ShardRemove(ref)
+		return err
+	}
+	ok := false
+	var settled wire.DigestResponse
+	for round := 0; round < copyRounds && !ok; round++ {
+		before, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			return abort(fmt.Errorf("cluster: replica source digest: %w", err))
+		}
+		if err := c.transfer(fromCl, toCl, ref); err != nil {
+			return abort(fmt.Errorf("cluster: replica transfer: %w", err))
+		}
+		after, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			return abort(fmt.Errorf("cluster: replica source digest: %w", err))
+		}
+		if after.Digest.Equal(before.Digest) {
+			settled, ok = after, true
+		}
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	current, err := fromCl.ShardDigest(ref)
+	if err != nil {
+		return abort(fmt.Errorf("cluster: replica source digest: %w", err))
+	}
+	if !ok || !current.Digest.Equal(settled.Digest) {
+		if err := c.transfer(fromCl, toCl, ref); err != nil {
+			return abort(fmt.Errorf("cluster: replica catch-up transfer: %w", err))
+		}
+		again, err := fromCl.ShardDigest(ref)
+		if err != nil {
+			return abort(fmt.Errorf("cluster: replica source digest: %w", err))
+		}
+		if !again.Digest.Equal(current.Digest) {
+			return abort(fmt.Errorf("%w: shard %d", ErrMigrateUnsettled, shard))
+		}
+		current = again
+	}
+	target, err := toCl.ShardDigest(ref)
+	if err != nil {
+		return abort(fmt.Errorf("cluster: replica target digest: %w", err))
+	}
+	if !target.Digest.Equal(current.Digest) {
+		return abort(fmt.Errorf("%w: shard %d: source %x target %x",
+			ErrMigrateDiverged, shard, current.Digest, target.Digest))
+	}
+	c.mu.Lock()
+	joined := false
+	if shard >= 0 && shard < len(c.route) {
+		already := false
+		for _, url := range c.route[shard] {
+			if url == to {
+				already = true
+			}
+		}
+		if !already {
+			c.route[shard] = append(c.route[shard], to)
+			joined = true
+		}
+	}
+	c.mu.Unlock()
+	if !joined {
+		return abort(fmt.Errorf("%w: shard %d at %s", ErrReplicaExists, shard, to))
+	}
+	c.repoch.Add(1)
+	return nil
+}
+
+// DropReplica removes one node from a shard's replica set and drains its
+// copy. Dropping the primary promotes the next sibling. The last replica
+// cannot be dropped — that is what Rebalance (move) is for.
+func (c *Coordinator) DropReplica(shard int, url string) error {
+	if _, err := c.client(url); err != nil {
+		return err
+	}
+	c.ctl.Lock()
+	defer c.ctl.Unlock()
+	c.mu.Lock()
+	if shard < 0 || shard >= len(c.route) {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: shard %d of %d", ErrNoRoute, shard, len(c.route))
+	}
+	set := c.route[shard]
+	idx := -1
+	for i, u := range set {
+		if u == url {
+			idx = i
+		}
+	}
+	if idx < 0 {
+		c.mu.Unlock()
+		return fmt.Errorf("cluster: %s does not host a replica of shard %d", url, shard)
+	}
+	if len(set) == 1 {
+		c.mu.Unlock()
+		return fmt.Errorf("%w: shard %d", ErrLastReplica, shard)
+	}
+	c.route[shard] = append(append([]string(nil), set[:idx]...), set[idx+1:]...)
+	c.mu.Unlock()
+	c.repoch.Add(1)
+	// Drain: streams pinned on the dropped copy finish unharmed; only
+	// new pins avoid it. Removal is best-effort — an unreachable node's
+	// copy stays where it is until the node returns or is rebuilt.
+	if cl, err := c.client(url); err == nil {
+		cl.ShardRemove(wire.ShardRef{Relation: c.spec.Relation, Shard: shard})
+	}
+	return nil
 }

@@ -34,7 +34,13 @@ import (
 //   - online span migration under live owner deltas: copy/cutover
 //     latency of Rebalance, how many copy rounds the catch-up needed,
 //     and — the invariant — how many in-flight queries were rejected
-//     during the move (must be zero).
+//     during the move (must be zero);
+//   - R-way replication: verified-stream throughput at R ∈ {1,2,3}
+//     over the same three nodes (what the extra copies cost and buy),
+//     then availability through a SIGKILL-equivalent node death at
+//     R=2 under live load — queries issued, mid-stream failovers the
+//     coordinator absorbed, lease demotions, and the invariant: how
+//     many queries failed after one bounded retry (must be zero).
 type ClusterResult struct {
 	Records, Shards, Nodes int
 
@@ -52,6 +58,25 @@ type ClusterResult struct {
 	QueriesDuringMigration  uint64
 	RejectedDuringMigration uint64
 	DeltasDuringMigration   uint64
+
+	// The R-sweep: same data, same node count, rising replication.
+	ReplicaNodes int
+	ReplicaQPS   []ReplicaQPSRow
+
+	// The kill drill at R = KillReplicas.
+	KillReplicas  int
+	KillQueries   uint64 // queries issued while the drill ran
+	KillRetried   uint64 // first attempt failed, bounded retry taken
+	KillFailed    uint64 // failed after the retry too — must be zero
+	KillFailovers uint64 // sub-streams re-pinned to a sibling replica
+	KillDemotions uint64 // lease expiries observed by routing
+}
+
+// ReplicaQPSRow is one point of the R-sweep: verified cross-node stream
+// throughput at replication factor R.
+type ReplicaQPSRow struct {
+	R   int
+	QPS float64
 }
 
 // Cluster runs the distributed-serving experiment.
@@ -222,6 +247,116 @@ func (e *Env) Cluster() (*ClusterResult, error) {
 	if _, err := cl.QueryStreamWith(sv, role.Name, q, 64, nil); err != nil {
 		return nil, fmt.Errorf("experiments: post-migration stream rejected: %w", err)
 	}
+
+	// R-way replication over three fresh nodes: the sweep, then the
+	// kill drill. Each R gets its own publication of the same slices —
+	// the verifier and spec are unchanged, only placement widens.
+	const repNodes = 3
+	res.ReplicaNodes = repNodes
+	buildRep := func(r int, ttl time.Duration) (*cluster.Coordinator, *handlerServer, []*server.HTTPServer, error) {
+		nodes := make([]*server.HTTPServer, 0, repNodes)
+		urls := make([]string, repNodes)
+		fail := func(err error) (*cluster.Coordinator, *handlerServer, []*server.HTTPServer, error) {
+			for _, hs := range nodes {
+				hs.Shutdown(shutdownCtx())
+			}
+			return nil, nil, nil, err
+		}
+		for i := 0; i < repNodes; i++ {
+			s := server.New(server.Config{Hasher: h, Pub: pub, Policy: accessctl.NewPolicy(role)})
+			hs, err := server.Serve("127.0.0.1:0", s)
+			if err != nil {
+				return fail(err)
+			}
+			nodes = append(nodes, hs)
+			urls[i] = "http://" + hs.Addr()
+		}
+		rc, err := cluster.New(cluster.Config{
+			Hasher: h, Pub: pub, Params: sr.Params, Schema: sr.Schema,
+			Policy: accessctl.NewPolicy(role), Spec: set.Spec, Nodes: urls,
+			Replicas: r, LeaseTTL: ttl,
+		})
+		if err != nil {
+			return fail(err)
+		}
+		if err := rc.Place(set); err != nil {
+			return fail(err)
+		}
+		cs, err := serveHandler(rc.Handler())
+		if err != nil {
+			return fail(err)
+		}
+		return rc, cs, nodes, nil
+	}
+	teardown := func(rc *cluster.Coordinator, cs *handlerServer, nodes []*server.HTTPServer) {
+		cs.close()
+		rc.Close()
+		for _, hs := range nodes {
+			hs.Shutdown(shutdownCtx())
+		}
+	}
+
+	for _, r := range []int{1, 2, 3} {
+		rc, cs, nodes, err := buildRep(r, 0)
+		if err != nil {
+			return nil, err
+		}
+		_, qps, serr := runStreams(cs.url)
+		teardown(rc, cs, nodes)
+		if serr != nil {
+			return nil, fmt.Errorf("experiments: R=%d sweep: %w", r, serr)
+		}
+		res.ReplicaQPS = append(res.ReplicaQPS, ReplicaQPSRow{R: r, QPS: qps})
+	}
+
+	// The drill: R=2, short leases, live query load, one node dies the
+	// hard way. A query fails only when its bounded retry fails too.
+	res.KillReplicas = 2
+	rc, cs, nodes, err := buildRep(2, 300*time.Millisecond)
+	if err != nil {
+		return nil, err
+	}
+	stopHB := rc.StartHeartbeats(100 * time.Millisecond)
+	var killStop atomic.Bool
+	var killWG sync.WaitGroup
+	var killQ, killRetried, killFailed atomic.Uint64
+	runOnce := func() error {
+		sv, err := v.NewShardStreamVerifier(set.Spec, q, role)
+		if err != nil {
+			return err
+		}
+		kcl := &wire.Client{BaseURL: cs.url}
+		_, err = kcl.QueryStreamWith(sv, role.Name, q, 64, nil)
+		return err
+	}
+	for w := 0; w < 2; w++ {
+		killWG.Add(1)
+		go func() {
+			defer killWG.Done()
+			for !killStop.Load() {
+				killQ.Add(1)
+				if err := runOnce(); err != nil {
+					killRetried.Add(1)
+					if err := runOnce(); err != nil {
+						killFailed.Add(1)
+					}
+				}
+			}
+		}()
+	}
+	time.Sleep(250 * time.Millisecond) // healthy-load warm-up
+	nodes[repNodes-1].Kill()           // listener and every connection, abruptly
+	time.Sleep(900 * time.Millisecond) // lease expiry plus post-death load
+	killStop.Store(true)
+	killWG.Wait()
+	stopHB()
+	st := rc.Stats()
+	teardown(rc, cs, nodes)
+	res.KillQueries = killQ.Load()
+	res.KillRetried = killRetried.Load()
+	res.KillFailed = killFailed.Load()
+	res.KillFailovers = st.Failovers
+	res.KillDemotions = st.Demotions
 	return res, nil
 }
 
@@ -239,6 +374,18 @@ func PrintCluster(w io.Writer, r *ClusterResult) {
 		r.QueriesDuringMigration, r.RejectedDuringMigration, r.DeltasDuringMigration)
 	if r.RejectedDuringMigration == 0 {
 		fmt.Fprintln(w, "  zero rejected in-flight queries across the cutover ✓")
+	}
+	if len(r.ReplicaQPS) > 0 {
+		fmt.Fprintf(w, "  R-way sweep (%d nodes)       :", r.ReplicaNodes)
+		for _, row := range r.ReplicaQPS {
+			fmt.Fprintf(w, "  R=%d %.1f q/s", row.R, row.QPS)
+		}
+		fmt.Fprintln(w)
+		fmt.Fprintf(w, "  node kill at R=%d            : %d queries (%d retried, %d failed), %d failovers, %d demotions\n",
+			r.KillReplicas, r.KillQueries, r.KillRetried, r.KillFailed, r.KillFailovers, r.KillDemotions)
+		if r.KillFailed == 0 {
+			fmt.Fprintln(w, "  zero failed queries through the node death ✓")
+		}
 	}
 }
 

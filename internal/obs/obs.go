@@ -209,6 +209,7 @@ const (
 	StageRebalCutover = "rebalance_cutover" // cluster: migration cutover lock window
 	StageCacheGet     = "cache_get"         // cluster: edge-cache tier probe
 	StageCacheFill    = "cache_fill"        // cluster: origin tee into an async cache fill
+	StageFailover     = "failover"          // cluster: mid-stream re-pin to a sibling replica
 )
 
 // Labeled builds a registry key carrying extra labels:

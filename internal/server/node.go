@@ -71,6 +71,12 @@ type hostedShard struct {
 	// the written-to copy of a double-hosted shard (coordinator crash
 	// mid-migration) regardless of either copy's prior history.
 	installDigest hashx.Digest
+	// digest is the current slice digest, refreshed by every publish
+	// path (install, delta commit) under nt.mu so sub-stream hellos can
+	// claim the hosting slice's identity without an O(slice) rehash per
+	// stream. Decisive compares (migration cutover) keep recomputing
+	// from bytes via ShardDigestInfo.
+	digest hashx.Digest
 	// deltas counts update batches committed against the slice since it
 	// was installed on this node.
 	deltas  atomic.Uint64
@@ -165,7 +171,8 @@ func (s *Server) InstallShard(man wire.ShardManifest, sr *core.SignedRelation) e
 		nt.spec = man.Spec
 	}
 	s.store.AddNamed(shardName(name, man.Shard), sr)
-	hs := &hostedShard{installDigest: partition.SliceDigest(s.h, sr)}
+	dg := partition.SliceDigest(s.h, sr)
+	hs := &hostedShard{installDigest: dg, digest: dg}
 	nt.hosted[man.Shard] = hs
 	return nil
 }
@@ -224,28 +231,34 @@ func (s *Server) RemoveShard(ref wire.ShardRef) error {
 	return nil
 }
 
-// viewHosted pins a hosted slice.
-func (s *Server) viewHosted(ref wire.ShardRef) (*nodeTable, *core.SignedRelation, uint64, error) {
+// viewHosted pins a hosted slice, returning the pinned snapshot, its
+// store epoch and the cached slice digest as one consistent triple:
+// every publish path (install, delta commit) swaps the store entry and
+// refreshes the cached digest inside the same nt.mu critical section
+// this read holds, so the digest always names exactly the returned
+// slice. Holding nt.mu across store.View matches the existing lock
+// order (publishers already call store.AddNamed under nt.mu).
+func (s *Server) viewHosted(ref wire.ShardRef) (*nodeTable, *core.SignedRelation, uint64, hashx.Digest, error) {
 	nt := s.nodeFor(ref.Relation)
 	if nt == nil {
-		return nil, nil, 0, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
+		return nil, nil, 0, nil, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
 	}
 	nt.mu.Lock()
-	hosted := nt.hosted[ref.Shard] != nil
-	nt.mu.Unlock()
-	if !hosted {
-		return nil, nil, 0, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
+	defer nt.mu.Unlock()
+	hs := nt.hosted[ref.Shard]
+	if hs == nil {
+		return nil, nil, 0, nil, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
 	}
 	sl, epoch, ok := s.store.View(shardName(ref.Relation, ref.Shard))
 	if !ok {
-		return nil, nil, 0, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
+		return nil, nil, 0, nil, fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
 	}
-	return nt, sl, epoch, nil
+	return nt, sl, epoch, hs.digest, nil
 }
 
 // ShardEdges returns a hosted slice's seam material.
 func (s *Server) ShardEdges(ref wire.ShardRef) (wire.EdgeResponse, error) {
-	_, sl, epoch, err := s.viewHosted(ref)
+	_, sl, epoch, _, err := s.viewHosted(ref)
 	if err != nil {
 		return wire.EdgeResponse{}, err
 	}
@@ -254,7 +267,7 @@ func (s *Server) ShardEdges(ref wire.ShardRef) (wire.EdgeResponse, error) {
 
 // ShardDigestInfo returns a hosted slice's digest summary.
 func (s *Server) ShardDigestInfo(ref wire.ShardRef) (wire.DigestResponse, error) {
-	nt, sl, epoch, err := s.viewHosted(ref)
+	nt, sl, epoch, _, err := s.viewHosted(ref)
 	if err != nil {
 		return wire.DigestResponse{}, err
 	}
@@ -318,7 +331,7 @@ func (s *Server) HostedInventory() wire.HostedResponse {
 // WriteShardTo streams a hosted slice as transfer frames — the fetch
 // half of a migration.
 func (s *Server) WriteShardTo(w io.Writer, ref wire.ShardRef) error {
-	nt, sl, epoch, err := s.viewHosted(ref)
+	nt, sl, epoch, _, err := s.viewHosted(ref)
 	if err != nil {
 		return err
 	}
@@ -331,6 +344,94 @@ func (s *Server) WriteShardTo(w io.Writer, ref wire.ShardRef) error {
 	nt.mu.Unlock()
 	man := wire.ShardManifest{Spec: spec, Shard: ref.Shard, Epoch: epoch, Deltas: deltas}
 	return wire.WriteShardTransfer(w, s.h, man, sl)
+}
+
+// --- leases / heartbeats ----------------------------------------------
+
+// nodeLease is the node's view of its most recent coordinator lease.
+// Leases are purely advisory on the node: it serves whatever it hosts
+// regardless (an expired lease means the *coordinator* stops routing
+// here, not that the node goes dark), so this state exists for /statsz
+// and operators, never for admission control.
+type nodeLease struct {
+	mu          sync.Mutex
+	coordinator string
+	epoch       uint64
+	seq         uint64
+	ttl         time.Duration
+	granted     time.Time
+	renewals    uint64
+}
+
+// NodeLeaseStat is the /statsz rendering of the node's lease view.
+type NodeLeaseStat struct {
+	// Coordinator identifies the granting coordinator; Epoch is the
+	// routing epoch the last heartbeat carried.
+	Coordinator string
+	Epoch       uint64
+	Seq         uint64
+	TTLMillis   int64
+	// Renewals counts accepted heartbeats; Live reports whether the
+	// lease TTL has elapsed since the last one.
+	Renewals uint64
+	Live     bool
+}
+
+// RecordLease ingests one coordinator heartbeat and returns the load
+// acknowledgement. Heartbeats from the recorded coordinator must move
+// Seq forward — a delayed, re-ordered heartbeat cannot roll the lease
+// view backwards; a different coordinator (failover of the control
+// plane itself) always takes over.
+func (s *Server) RecordLease(req wire.LeaseRequest) wire.LeaseResponse {
+	s.lease.mu.Lock()
+	if req.Coordinator != s.lease.coordinator || req.Seq > s.lease.seq {
+		s.lease.coordinator = req.Coordinator
+		s.lease.epoch = req.Epoch
+		s.lease.seq = req.Seq
+		s.lease.ttl = time.Duration(req.TTLMillis) * time.Millisecond
+		s.lease.granted = time.Now()
+		s.lease.renewals++
+	}
+	epoch := s.lease.epoch
+	s.lease.mu.Unlock()
+
+	hosted := 0
+	s.nodeMu.RLock()
+	names := make([]string, 0, len(s.nodeRels))
+	for name := range s.nodeRels {
+		names = append(names, name)
+	}
+	s.nodeMu.RUnlock()
+	for _, name := range names {
+		if nt := s.nodeFor(name); nt != nil {
+			nt.mu.Lock()
+			hosted += len(nt.hosted)
+			nt.mu.Unlock()
+		}
+	}
+	inflight := s.subInflight.Load()
+	if inflight < 0 {
+		inflight = 0
+	}
+	return wire.LeaseResponse{Epoch: epoch, Hosted: hosted, Inflight: uint64(inflight)}
+}
+
+// leaseStat snapshots the lease view for Stats; nil when no coordinator
+// has ever heartbeated this process.
+func (s *Server) leaseStat() *NodeLeaseStat {
+	s.lease.mu.Lock()
+	defer s.lease.mu.Unlock()
+	if s.lease.coordinator == "" && s.lease.renewals == 0 {
+		return nil
+	}
+	return &NodeLeaseStat{
+		Coordinator: s.lease.coordinator,
+		Epoch:       s.lease.epoch,
+		Seq:         s.lease.seq,
+		TTLMillis:   s.lease.ttl.Milliseconds(),
+		Renewals:    s.lease.renewals,
+		Live:        s.lease.ttl <= 0 || time.Since(s.lease.granted) < s.lease.ttl,
+	}
 }
 
 // --- shard sub-streams ------------------------------------------------
@@ -354,7 +455,7 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 			fmt.Sprintf("relation=%s shard=%d", req.Query.Relation, req.Shard))
 	}()
 	ref := wire.ShardRef{Relation: req.Query.Relation, Shard: req.Shard}
-	nt, sl, epoch, err := s.viewHosted(ref)
+	nt, sl, epoch, dg, err := s.viewHosted(ref)
 	if err != nil {
 		writeNodeErr(w, flush, err)
 		return err
@@ -378,7 +479,9 @@ func (s *Server) serveShardPartial(w io.Writer, flush func(), req wire.ShardStre
 	}
 	nt.mu.Unlock()
 	s.shardStreams.Add(1)
-	hello := wire.NodeHello{Shard: req.Shard, Epoch: epoch, Edges: partition.EdgesOf(sl), Left: head.Left}
+	s.subInflight.Add(1)
+	defer s.subInflight.Add(-1)
+	hello := wire.NodeHello{Shard: req.Shard, Epoch: epoch, Edges: partition.EdgesOf(sl), Left: head.Left, Digest: dg}
 	if err := wire.WriteNodeFrame(w, &wire.NodeFrame{Hello: &hello}); err != nil {
 		return err
 	}
@@ -690,6 +793,7 @@ func (s *Server) FinishNodeDelta(req wire.TxRequest) (uint64, error) {
 		}
 		if hs := nt.hosted[i]; hs != nil {
 			hs.deltas.Add(1)
+			hs.digest = partition.SliceDigest(s.h, tx.slices[i])
 		}
 	}
 	s.deltasApplied.Add(1)
@@ -782,6 +886,25 @@ func (s *Server) nodeHandlers(mux *http.ServeMux) {
 		}
 		return wire.OKResponse{Epoch: epoch}, nil
 	})
+
+	// The lease endpoint rides the length-prefixed frame codec end to
+	// end (not the gob control envelope), so both decode surfaces are
+	// the fuzzed ones (FuzzReadLeaseFrame).
+	mux.Handle("/node/lease", capBody(maxQueryBody, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST only", http.StatusMethodNotAllowed)
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		req, err := wire.ReadLeaseRequest(r.Body)
+		if err != nil {
+			s.errors.Add(1)
+			wire.WriteLeaseResponse(w, &wire.LeaseResponse{Err: err.Error()})
+			return
+		}
+		resp := s.RecordLease(*req)
+		wire.WriteLeaseResponse(w, &resp)
+	})))
 
 	mux.Handle("/shard/install", capBody(maxDeltaBody, http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {

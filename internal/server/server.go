@@ -93,6 +93,12 @@ type Server struct {
 	queries, batches, deltasApplied, errors atomic.Uint64
 	streams, streamChunks, streamBytes      atomic.Uint64
 	shardStreams                            atomic.Uint64
+	// subInflight gauges currently-open fan-out sub-streams — the load
+	// signal leases report back to the coordinator's replica selection.
+	subInflight atomic.Int64
+	// lease is the node's view of its most recent coordinator lease
+	// (node.go); advisory /statsz state, never consulted when serving.
+	lease nodeLease
 
 	// obs is the stage-latency registry; the h* fields are its hot-path
 	// histograms, resolved once (nil when the registry is disabled).
@@ -411,7 +417,12 @@ type Stats struct {
 	// sub-streams. ShardStreams totals the fan-out sub-streams served.
 	Hosted       map[string][]NodeShardStat `json:",omitempty"`
 	ShardStreams uint64                     `json:",omitempty"`
-	Cache        CacheStats
+	// Lease is the node-mode lease view: which coordinator last
+	// heartbeated this node, at which routing epoch, and whether the
+	// lease is still live — what scripts/replica_smoke.sh and operators
+	// assert on. Nil outside node mode.
+	Lease *NodeLeaseStat `json:",omitempty"`
+	Cache CacheStats
 }
 
 // Stats snapshots the counters.
@@ -447,6 +458,7 @@ func (s *Server) Stats() Stats {
 		Partitions:    s.partitionStats(),
 		Hosted:        s.nodeStats(),
 		ShardStreams:  s.shardStreams.Load(),
+		Lease:         s.leaseStat(),
 		Cache:         s.cache.Stats(),
 	}
 }

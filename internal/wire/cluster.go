@@ -140,6 +140,15 @@ type NodeHello struct {
 	Epoch uint64
 	Edges partition.Edges
 	Left  *core.BoundaryProof
+	// Digest is the pinned slice's identity (partition.SliceDigest) as
+	// the node claims it. The coordinator uses it to pick a replica
+	// hosting the byte-identical slice when a sub-stream fails over
+	// mid-flight, and to attribute seam failures to a lying replica via
+	// cross-replica compare. Like Edges it is a claim, not a proof: the
+	// user's verifier is what catches a node lying here. Optional wire
+	// field — old hellos decode with a zero digest and simply disable
+	// digest-pinned failover for that sub-stream.
+	Digest hashx.Digest
 }
 
 // NodeFoot is the last frame of a shard sub-stream: the shard's entry
@@ -471,6 +480,66 @@ type OKResponse struct {
 	Err   string
 }
 
+// --- leases / heartbeats ----------------------------------------------
+
+// LeaseRequest is one coordinator→node heartbeat: the grant of a serving
+// lease for TTLMillis, carrying the coordinator's current routing epoch
+// so a node can detect it is being driven by a stale coordinator. Leases
+// are an availability mechanism only — nothing in the verified material
+// depends on them; a node serving past its lease can at worst waste a
+// client's time, never forge a result.
+type LeaseRequest struct {
+	// Coordinator identifies the granting coordinator (its advertised
+	// URL, or a process tag in tests) for the node's /statsz.
+	Coordinator string
+	// Epoch is the coordinator's routing epoch at grant time.
+	Epoch uint64
+	// TTLMillis is the lease duration; the node treats its lease as
+	// expired TTLMillis after the last heartbeat it acknowledged.
+	TTLMillis int64
+	// Seq increments per heartbeat per coordinator, so a delayed
+	// re-ordered heartbeat cannot roll a node's lease view backwards.
+	Seq uint64
+}
+
+// LeaseResponse acknowledges a heartbeat with the node's load signals —
+// the inputs to the coordinator's least-loaded replica selection.
+type LeaseResponse struct {
+	// Epoch echoes the highest routing epoch the node has seen.
+	Epoch uint64
+	// Hosted is the node's hosted-shard count across relations.
+	Hosted int
+	// Inflight is the node's count of active shard sub-streams.
+	Inflight uint64
+	Err      string
+}
+
+// WriteLeaseRequest / ReadLeaseRequest frame a heartbeat on the shared
+// length-prefixed gob codec. Exported so the fuzz harness can hammer the
+// decode path with raw bytes exactly as the endpoint receives them.
+func WriteLeaseRequest(w io.Writer, req *LeaseRequest) error { return writeFrame(w, req) }
+
+// ReadLeaseRequest reads one framed heartbeat.
+func ReadLeaseRequest(r io.Reader) (*LeaseRequest, error) {
+	var req LeaseRequest
+	if err := readFrame(r, &req); err != nil {
+		return nil, err
+	}
+	return &req, nil
+}
+
+// WriteLeaseResponse frames a heartbeat acknowledgement.
+func WriteLeaseResponse(w io.Writer, resp *LeaseResponse) error { return writeFrame(w, resp) }
+
+// ReadLeaseResponse reads one framed heartbeat acknowledgement.
+func ReadLeaseResponse(r io.Reader) (*LeaseResponse, error) {
+	var resp LeaseResponse
+	if err := readFrame(r, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
 // --- two-phase distributed delta -------------------------------------
 
 // NodeDeltaRequest asks a node to *stage* an update batch against the
@@ -690,6 +759,37 @@ func (c *Client) NodeMirror(req MirrorRequest) (MirrorResponse, error) {
 		return out, fmt.Errorf("wire: node rejected mirror fix: %s", out.Err)
 	}
 	return out, nil
+}
+
+// NodeLease sends one heartbeat to a node's lease endpoint. Unlike the
+// gob control calls this rides the length-prefixed frame codec end to
+// end, so the decode surface on both sides is the fuzzed one.
+func (c *Client) NodeLease(req LeaseRequest) (LeaseResponse, error) {
+	httpc := c.HTTP
+	if httpc == nil {
+		httpc = http.DefaultClient
+	}
+	var body bytes.Buffer
+	if err := WriteLeaseRequest(&body, &req); err != nil {
+		return LeaseResponse{}, err
+	}
+	hresp, err := httpc.Post(c.BaseURL+"/node/lease", "application/octet-stream", &body)
+	if err != nil {
+		return LeaseResponse{}, fmt.Errorf("wire: post lease: %w", err)
+	}
+	defer hresp.Body.Close()
+	if hresp.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(hresp.Body, 1024))
+		return LeaseResponse{}, fmt.Errorf("wire: node returned %s: %s", hresp.Status, strings.TrimSpace(string(msg)))
+	}
+	resp, err := ReadLeaseResponse(hresp.Body)
+	if err != nil {
+		return LeaseResponse{}, err
+	}
+	if resp.Err != "" {
+		return *resp, fmt.Errorf("wire: node error: %s", resp.Err)
+	}
+	return *resp, nil
 }
 
 // NodeTx commits or aborts a node's staged delta.

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/binary"
 	"errors"
+	"io"
 	"testing"
 
 	"vcqr/internal/hashx"
@@ -95,4 +96,104 @@ func TestShardTransferIntegrity(t *testing.T) {
 	if _, _, err := wire.ReadShardTransfer(bytes.NewReader(cut.Bytes()), h); !errors.Is(err, wire.ErrTransferTruncated) {
 		t.Fatalf("truncated transfer error = %v, want ErrTransferTruncated", err)
 	}
+}
+
+// TestLeaseFrameRoundTrip pins the heartbeat codec: request and
+// acknowledgement survive a frame round trip field-exact.
+func TestLeaseFrameRoundTrip(t *testing.T) {
+	req := &wire.LeaseRequest{Coordinator: "coord-a", Epoch: 7, TTLMillis: 15000, Seq: 42}
+	var buf bytes.Buffer
+	if err := wire.WriteLeaseRequest(&buf, req); err != nil {
+		t.Fatal(err)
+	}
+	gotReq, err := wire.ReadLeaseRequest(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotReq != *req {
+		t.Fatalf("request round trip: %+v != %+v", gotReq, req)
+	}
+
+	resp := &wire.LeaseResponse{Epoch: 7, Hosted: 3, Inflight: 11}
+	buf.Reset()
+	if err := wire.WriteLeaseResponse(&buf, resp); err != nil {
+		t.Fatal(err)
+	}
+	gotResp, err := wire.ReadLeaseResponse(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *gotResp != *resp {
+		t.Fatalf("response round trip: %+v != %+v", gotResp, resp)
+	}
+}
+
+// FuzzReadLeaseFrame fuzzes both heartbeat decoders with raw bytes:
+// neither may panic, and any frame either accepts must re-encode. The
+// coordinator feeds these decoders bytes from nodes it explicitly does
+// not trust.
+func FuzzReadLeaseFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := wire.WriteLeaseRequest(&seed, &wire.LeaseRequest{Coordinator: "c", Epoch: 1, TTLMillis: 1000, Seq: 1}); err != nil {
+		f.Fatal(err)
+	}
+	if err := wire.WriteLeaseResponse(&seed, &wire.LeaseResponse{Epoch: 1, Hosted: 2, Inflight: 3}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			req, err := wire.ReadLeaseRequest(r)
+			if err != nil {
+				break
+			}
+			if err := wire.WriteLeaseRequest(io.Discard, req); err != nil {
+				t.Fatalf("accepted lease request does not re-encode: %v", err)
+			}
+		}
+		r = bytes.NewReader(data)
+		for {
+			resp, err := wire.ReadLeaseResponse(r)
+			if err != nil {
+				break
+			}
+			if err := wire.WriteLeaseResponse(io.Discard, resp); err != nil {
+				t.Fatalf("accepted lease response does not re-encode: %v", err)
+			}
+		}
+	})
+}
+
+// FuzzReadNodeFrame fuzzes the sub-stream frame decoder — the bytes the
+// coordinator's merge path and the fault injector's frame parser both
+// consume from untrusted node streams. It must never panic, and accepted
+// frames must re-encode.
+func FuzzReadNodeFrame(f *testing.F) {
+	var seed bytes.Buffer
+	if err := wire.WriteNodeFrame(&seed, &wire.NodeFrame{Hello: &wire.NodeHello{Shard: 1, Epoch: 2}}); err != nil {
+		f.Fatal(err)
+	}
+	if err := wire.WriteNodeFrame(&seed, &wire.NodeFrame{Err: "boom"}); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(seed.Bytes())
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 1, 42})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		for {
+			fr, err := wire.ReadNodeFrame(r)
+			if err != nil {
+				break
+			}
+			if err := wire.WriteNodeFrame(io.Discard, fr); err != nil {
+				t.Fatalf("accepted node frame does not re-encode: %v", err)
+			}
+		}
+	})
 }
