@@ -72,6 +72,7 @@ import (
 	"vcqr/internal/partition"
 	"vcqr/internal/server"
 	"vcqr/internal/sig"
+	"vcqr/internal/store"
 	"vcqr/internal/wire"
 	"vcqr/internal/workload"
 )
@@ -118,6 +119,8 @@ func main() {
 	replicas := flag.Int("replicas", 1, "coordinator mode: replication factor R — every shard's slice installs on R distinct nodes and queries pick the least-loaded live replica (clamped to the node count)")
 	leaseTTL := flag.Duration("lease-ttl", 0, "coordinator mode: how long one acknowledged heartbeat keeps a node live for routing; expiry demotes, never deletes (0 = default 15s)")
 	heartbeat := flag.Duration("heartbeat", 0, "coordinator mode: lease heartbeat interval (0 = lease-ttl/3)")
+	dataDir := flag.String("data-dir", "", "durable storage directory: node mode logs installs and deltas to a crash-safe WAL and recovers them on restart; coordinator mode persists routing epochs and staged delta tokens (empty = memory-only)")
+	snapshotEvery := flag.Int("snapshot-every", 0, "node mode with -data-dir: fold the WAL into an epoch snapshot every N appends (0 = default 64, negative disables)")
 	flag.StringVar(&debugAddr, "debug-addr", "", "serve expvar/pprof/slowlog on a separate listener (empty = query port only)")
 	flag.DurationVar(&slowQuery, "slow-query", 0, "slow-query log retention threshold, e.g. 250ms (0 = default 100ms, negative disables)")
 	flag.Parse()
@@ -134,9 +137,9 @@ func main() {
 	case *cacheMode:
 		runCachePeer(*addr, *cacheBytes)
 	case *nodeMode:
-		runNode(*addr, *paramsPath, *cacheSize)
+		runNode(*addr, *paramsPath, *cacheSize, *dataDir, *snapshotEvery)
 	case *coordMode:
-		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *cachePeers, *adopt, *replicas, *leaseTTL, *heartbeat)
+		runCoordinator(*addr, *load, *paramsPath, *nodesFlag, *cachePeers, *adopt, *replicas, *leaseTTL, *heartbeat, *dataDir)
 	default:
 		runSingle(*addr, *load, *paramsPath, *n, *seed, *shards, *cacheSize)
 	}
@@ -177,11 +180,33 @@ func policyFrom(cp wire.ClientParams) accessctl.Policy {
 }
 
 // runNode starts an empty shard node: everything it will serve arrives
-// later over /shard/install from a coordinator.
-func runNode(addr, paramsPath string, cacheSize int) {
+// later over /shard/install from a coordinator — or, with -data-dir,
+// from the node's own crash-safe WAL, self-checked against the owner's
+// public key before a byte of it is served.
+func runNode(addr, paramsPath string, cacheSize int, dataDir string, snapshotEvery int) {
 	cp, err := wire.ReadClientParams(paramsPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var nstore *store.NodeStore
+	if dataDir != "" {
+		ns, rep, err := store.OpenNode(dataDir, store.Options{
+			Hasher:        hashx.New(),
+			SnapshotEvery: snapshotEvery,
+		})
+		if err != nil {
+			log.Fatalf("durable store: %v", err)
+		}
+		defer ns.Close()
+		nstore = ns
+		if rep.SnapshotErr != nil {
+			log.Printf("WARNING: snapshot unreadable, recovering from WAL alone: %v", rep.SnapshotErr)
+		}
+		if rep.TornTail != nil {
+			log.Printf("WAL tail torn (mid-append crash), truncated: %v", rep.TornTail)
+		}
+		log.Printf("durable store %s: snapshot seq %d, %d WAL records replayed (%d absorbed by snapshot)",
+			dataDir, rep.SnapshotSeq, rep.Replayed, rep.Skipped)
 	}
 	s := server.New(server.Config{
 		Hasher:        hashx.New(),
@@ -189,23 +214,51 @@ func runNode(addr, paramsPath string, cacheSize int) {
 		Policy:        policyFrom(cp),
 		CacheSize:     cacheSize,
 		SlowThreshold: slowQuery,
+		Store:         nstore,
 	})
+	if nstore != nil {
+		rep, err := s.RecoverHosted()
+		if err != nil {
+			log.Fatalf("recovery: %v", err)
+		}
+		for _, r := range rep.Refused {
+			log.Printf("WARNING: refused recovered slice %s (coordinator will re-install)", r)
+		}
+		if len(rep.Published) > 0 {
+			log.Printf("recovered %d slices from disk, self-checked against the owner's key: %s",
+				len(rep.Published), strings.Join(rep.Published, ", "))
+		}
+	}
 	serveDebug(s.Obs().Slow)
 	hs, err := server.Serve(addr, s)
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("shard node ready on %s (no slices hosted; awaiting coordinator installs)\n", hs.Addr())
+	fmt.Printf("shard node ready on %s (awaiting coordinator installs)\n", hs.Addr())
 	waitAndShutdown(func(ctx context.Context) error { return hs.Shutdown(ctx) }, hs.Done, hs.Err)
 	st := s.Stats()
 	log.Printf("served %d shard sub-streams, %d deltas; bye", st.ShardStreams, st.DeltasApplied)
 }
 
 // runCoordinator starts the cluster control plane and user-facing API.
-func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt bool, replicas int, leaseTTL, heartbeat time.Duration) {
+func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt bool, replicas int, leaseTTL, heartbeat time.Duration, dataDir string) {
 	cp, err := wire.ReadClientParams(paramsPath)
 	if err != nil {
 		log.Fatal(err)
+	}
+	var clog *store.CoordLog
+	if dataDir != "" {
+		cl, crep, err := store.OpenCoord(dataDir, store.CoordOptions{})
+		if err != nil {
+			log.Fatalf("coordinator log: %v", err)
+		}
+		defer cl.Close()
+		clog = cl
+		if crep.TornTail != nil {
+			log.Printf("coordinator log tail torn (mid-append crash), truncated: %v", crep.TornTail)
+		}
+		log.Printf("coordinator log %s: %d records replayed, routing epoch %d, %d open staged deltas",
+			dataDir, crep.Replayed, crep.RoutingEpoch, len(crep.OpenStaged))
 	}
 	nodes := strings.Split(nodesFlag, ",")
 	if nodesFlag == "" || len(nodes) == 0 {
@@ -267,6 +320,7 @@ func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt 
 		Replicas:      replicas,
 		LeaseTTL:      leaseTTL,
 		Advertise:     addr,
+		Log:           clog,
 	})
 	if err != nil {
 		log.Fatal(err)
@@ -283,6 +337,9 @@ func runCoordinator(addr, load, paramsPath, nodesFlag, cachePeers string, adopt 
 		}
 		if len(rep.Ambiguous) > 0 {
 			log.Printf("WARNING: divergence of shards %v is ambiguous (both copies written since install); kept node-order copy — treat as suspect, the owner snapshot is the source of truth (see docs/OPERATIONS.md)", rep.Ambiguous)
+		}
+		if len(rep.OpenStaged) > 0 {
+			log.Printf("WARNING: deltas to %v were staged but not confirmed committed before the crash; compare /shard/digest against the owner's expected post-state (see docs/OPERATIONS.md)", rep.OpenStaged)
 		}
 		log.Printf("recovered routing for %d shards from node inventories", len(rep.Assigned))
 	} else {

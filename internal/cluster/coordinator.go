@@ -21,6 +21,7 @@ import (
 	"vcqr/internal/partition"
 	"vcqr/internal/relation"
 	"vcqr/internal/sig"
+	"vcqr/internal/store"
 	"vcqr/internal/wire"
 )
 
@@ -99,6 +100,13 @@ type Config struct {
 	// deployments, any tag in tests). Nodes let a different coordinator
 	// name take over a lease regardless of sequence numbers.
 	Advertise string
+	// Log is the coordinator's durable log (internal/store): every
+	// routing-table swing is recorded at its epoch, and two-phase delta
+	// commits bracket their commit fan-out with staged-token records —
+	// what lets Recover resolve ambiguous crash windows by reading its
+	// own log instead of guessing. Nil keeps the coordinator
+	// memory-only (the pre-durability behaviour).
+	Log *store.CoordLog
 }
 
 // DefaultLeaseTTL is the lease duration when Config.LeaseTTL is zero.
@@ -149,6 +157,11 @@ type Coordinator struct {
 	// unreachable by key even before the pushed group invalidation lands.
 	cache   *cache.Client
 	cepochs []atomic.Uint64
+
+	// clog is the durable coordinator log (nil = memory-only);
+	// persistFailures counts best-effort appends that failed.
+	clog            *store.CoordLog
+	persistFailures atomic.Uint64
 
 	queries, streams, fanouts, errors atomic.Uint64
 	handoffRetries, routingRetries    atomic.Uint64
@@ -203,6 +216,7 @@ func New(cfg Config) (*Coordinator, error) {
 		advertise: cfg.Advertise,
 		health:    make(map[string]*nodeHealth, len(cfg.Nodes)),
 		cache:     cfg.Cache,
+		clog:      cfg.Log,
 		cepochs:   make([]atomic.Uint64, cfg.Spec.K()),
 	}
 	if c.advertise == "" {
@@ -400,8 +414,23 @@ func (c *Coordinator) Place(set *partition.Set) error {
 	c.route = assign
 	c.mu.Unlock()
 	c.repoch.Add(1)
+	c.persistRouting()
 	c.bumpAllShards()
 	return nil
+}
+
+// persistRouting logs the current routing table at its epoch to the
+// durable coordinator log. Best-effort: queries route from memory, so
+// a failed append costs recovery determinism on the next cold start,
+// never serving correctness — it is counted and surfaced in Stats.
+func (c *Coordinator) persistRouting() {
+	if c.clog == nil {
+		return
+	}
+	route := c.ReplicaSets()
+	if err := c.clog.LogRouting(c.repoch.Load(), route); err != nil {
+		c.persistFailures.Add(1)
+	}
 }
 
 // installSlice streams one local slice to a node's install endpoint.
@@ -854,6 +883,11 @@ type Stats struct {
 	// Cache carries the edge-cache tier counters when the tier is
 	// configured.
 	Cache *cache.ClientStats
+	// Log carries the durable coordinator-log counters when persistence
+	// is configured; PersistFailures counts best-effort appends that
+	// failed (recovery determinism degraded, serving unaffected).
+	Log             *store.CoordStats `json:",omitempty"`
+	PersistFailures uint64            `json:",omitempty"`
 	// ContentEpochs is the per-shard content epoch vector cache keys bind.
 	ContentEpochs []uint64
 }
@@ -865,28 +899,35 @@ func (c *Coordinator) Stats() Stats {
 		snap := c.cache.Stats()
 		cs = &snap
 	}
+	var ls *store.CoordStats
+	if c.clog != nil {
+		snap := c.clog.Stats()
+		ls = &snap
+	}
 	return Stats{
-		Cache:          cs,
-		ContentEpochs:  c.contentEpochs(),
-		Queries:        c.queries.Load(),
-		Streams:        c.streams.Load(),
-		Fanouts:        c.fanouts.Load(),
-		Errors:         c.errors.Load(),
-		HandoffRetries: c.handoffRetries.Load(),
-		RoutingRetries: c.routingRetries.Load(),
-		DeltasApplied:  c.deltasApplied.Load(),
-		Migrations:     c.migrations.Load(),
-		Failovers:      c.failovers.Load(),
-		Demotions:      c.demotions.Load(),
-		Promotions:     c.promotions.Load(),
-		Quarantines:    c.quarantines.Load(),
-		LeaseRenewals:  c.leaseRenewals.Load(),
-		RoutingEpoch:   c.repoch.Load(),
-		SpecVersion:    c.spec.Version,
-		Routing:        c.Routing(),
-		Replicas:       c.replicas,
-		ReplicaSets:    c.ReplicaSets(),
-		Nodes:          c.NodeStats(),
+		Cache:           cs,
+		Log:             ls,
+		PersistFailures: c.persistFailures.Load(),
+		ContentEpochs:   c.contentEpochs(),
+		Queries:         c.queries.Load(),
+		Streams:         c.streams.Load(),
+		Fanouts:         c.fanouts.Load(),
+		Errors:          c.errors.Load(),
+		HandoffRetries:  c.handoffRetries.Load(),
+		RoutingRetries:  c.routingRetries.Load(),
+		DeltasApplied:   c.deltasApplied.Load(),
+		Migrations:      c.migrations.Load(),
+		Failovers:       c.failovers.Load(),
+		Demotions:       c.demotions.Load(),
+		Promotions:      c.promotions.Load(),
+		Quarantines:     c.quarantines.Load(),
+		LeaseRenewals:   c.leaseRenewals.Load(),
+		RoutingEpoch:    c.repoch.Load(),
+		SpecVersion:     c.spec.Version,
+		Routing:         c.Routing(),
+		Replicas:        c.replicas,
+		ReplicaSets:     c.ReplicaSets(),
+		Nodes:           c.NodeStats(),
 	}
 }
 

@@ -326,6 +326,19 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 	// and one retirement per shard is exact.
 	tPhase = time.Now()
 	defer func() { c.obs.Hist(obs.StageDeltaCommit).ObserveSince(tPhase) }()
+	// Durably bracket the commit fan-out: if the coordinator dies inside
+	// it, the next incarnation finds the open staged record in its log
+	// and knows any divergence it inventories is an in-flight commit —
+	// some nodes durably committed, some did not — rather than guessing
+	// from digests alone. A coordinator that cannot log the bracket
+	// aborts rather than committing with amnesia; a partial-commit
+	// failure below deliberately leaves the record open.
+	if c.clog != nil {
+		if err := c.clog.LogStagedBegin(d.Relation, tokens); err != nil {
+			abort()
+			return 0, fmt.Errorf("cluster: delta rejected: staged-token log append: %w", err)
+		}
+	}
 	var epoch uint64
 	committed := make([]string, 0, len(tokens))
 	bumped := map[int]bool{}
@@ -352,6 +365,11 @@ func (c *Coordinator) applyDelta(d delta.Delta) (uint64, error) {
 		}
 		sort.Ints(touched)
 		c.bumpShards(touched...)
+	}
+	if c.clog != nil {
+		if err := c.clog.LogStagedEnd(d.Relation, true); err != nil {
+			c.persistFailures.Add(1)
+		}
 	}
 	return epoch, nil
 }

@@ -186,6 +186,7 @@ func (c *Coordinator) Rebalance(shard int, to string) (*RebalanceReport, error) 
 	}
 	c.mu.Unlock()
 	rep.RoutingEpoch = c.repoch.Add(1)
+	c.persistRouting()
 	c.ctl.Unlock()
 	rep.CutoverDuration = time.Since(cutStart)
 	c.obs.Hist(obs.StageRebalCutover).Observe(rep.CutoverDuration)
@@ -246,23 +247,32 @@ type RecoveryReport struct {
 	// has been written to since its install wins; verify with the
 	// operator handbook's recovery checklist.
 	Diverged []int
-	// Ambiguous lists diverged shards where the written-since-install
-	// signal did not single out one copy (both copies took writes, or
-	// neither reports an install digest). The keep is deterministic
-	// (configured node order) but must be operator-verified.
+	// Ambiguous lists diverged shards where neither the
+	// written-since-install signal nor the persisted routing log singled
+	// out one copy (both copies took writes and no log names a primary).
+	// The keep is deterministic (configured node order) but must be
+	// operator-verified.
 	Ambiguous []int
+	// OpenStaged lists relations whose two-phase delta commit was begun
+	// but never resolved per the coordinator's durable log — crash
+	// windows where some nodes may hold the committed state and others
+	// the pre-delta state. Divergence Recover observes on these
+	// relations is explained, not Byzantine.
+	OpenStaged []string `json:",omitempty"`
 }
 
 // Recover rebuilds the routing table by inventorying every node — the
 // restart path after a coordinator crash. Every shard must be hosted
 // somewhere; a shard hosted on several nodes is resolved by digest
 // compare. Identical copies are a replica set — the normal state under
-// R-way replication — and are all adopted, first node as primary.
+// R-way replication — and are all adopted; with a durable coordinator
+// log configured, the logged table decides which copy is primary (a
+// deterministic lookup), otherwise configured node order does.
 // Divergent copies keep the one whose current digest differs from its
 // install digest — the copy the cluster has been writing to — and drop
 // the idle transfer (an interrupted migration's leftover). If that
-// signal does not single out one copy (both written to), the keep is
-// deterministic but reported as Ambiguous for the operator.
+// signal does not single out one copy, the logged primary wins; only
+// when neither source decides is the shard reported Ambiguous.
 func (c *Coordinator) Recover() (*RecoveryReport, error) {
 	rel := c.spec.Relation
 	type copyAt struct {
@@ -270,6 +280,21 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 		hs  wire.HostedShard
 	}
 	candidates := map[int][]copyAt{}
+	// The persisted routing table, when a coordinator log is configured:
+	// the deterministic lookup that replaces node-order guessing for
+	// copies the digests cannot tell apart.
+	var logRoute [][]string
+	if c.clog != nil {
+		if _, r, ok := c.clog.Routing(); ok {
+			logRoute = r
+		}
+	}
+	loggedSet := func(shard int) []string {
+		if shard < len(logRoute) {
+			return logRoute[shard]
+		}
+		return nil
+	}
 	for _, url := range c.nodes {
 		cl, err := c.client(url)
 		if err != nil {
@@ -301,6 +326,29 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 			missing = append(missing, shard)
 			continue
 		}
+		// Order copies by the persisted replica set (primary first), then
+		// configured node order for unlogged hosts: when digests agree —
+		// including the equal-digest, divergent-deltas-since-install case
+		// that node order used to guess on — the adopted primary is the
+		// one the logged table names.
+		if pset := loggedSet(shard); len(pset) > 0 {
+			rank := map[string]int{}
+			for i, u := range pset {
+				rank[u] = i
+			}
+			sort.SliceStable(copies, func(a, b int) bool {
+				ra, oka := rank[copies[a].url]
+				rb, okb := rank[copies[b].url]
+				switch {
+				case oka && okb:
+					return ra < rb
+				case oka:
+					return true
+				default:
+					return false
+				}
+			})
+		}
 		winner := copies[0]
 		if len(copies) > 1 {
 			diverged := false
@@ -314,16 +362,29 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 				// The written-to copy is the one whose content moved since
 				// its install (absolute delta counters are incomparable
 				// across copies with different install times). Exactly one
-				// such copy → it wins; otherwise keep node order and flag.
+				// such copy → it wins; otherwise the logged primary decides
+				// (copies[0] after the persisted-order sort); only with
+				// neither signal is the keep flagged for the operator.
 				written := []copyAt{}
 				for _, cp := range copies {
 					if len(cp.hs.InstallDigest) > 0 && !cp.hs.Digest.Equal(cp.hs.InstallDigest) {
 						written = append(written, cp)
 					}
 				}
-				if len(written) == 1 {
+				loggedPrimary := false
+				if pset := loggedSet(shard); len(pset) > 0 {
+					for _, cp := range copies {
+						if cp.url == pset[0] {
+							loggedPrimary = true
+						}
+					}
+				}
+				switch {
+				case len(written) == 1:
 					winner = written[0]
-				} else {
+				case loggedPrimary:
+					// winner already is the logged primary via the sort.
+				default:
 					rep.Ambiguous = append(rep.Ambiguous, shard)
 				}
 			}
@@ -357,10 +418,24 @@ func (c *Coordinator) Recover() (*RecoveryReport, error) {
 	c.route = assign
 	c.mu.Unlock()
 	c.repoch.Add(1)
+	c.persistRouting()
 	// Recovery adopts whatever the nodes hold — possibly bytes written
 	// while this coordinator was down — so every shard's cached entries
 	// are suspect.
 	c.bumpAllShards()
+	// Surface (and close) delta commits the log says were in flight when
+	// the previous incarnation died: the inventory above already adopted
+	// whatever state each node durably committed, so the ambiguity is
+	// resolved — but the operator should know it existed.
+	if c.clog != nil {
+		for relName := range c.clog.OpenStaged() {
+			rep.OpenStaged = append(rep.OpenStaged, relName)
+			if err := c.clog.LogStagedEnd(relName, false); err != nil {
+				c.persistFailures.Add(1)
+			}
+		}
+		sort.Strings(rep.OpenStaged)
+	}
 	sort.Ints(rep.Diverged)
 	sort.Ints(rep.Ambiguous)
 	sort.Strings(rep.DroppedCopies)
@@ -461,6 +536,7 @@ func (c *Coordinator) AddReplica(shard int, to string) error {
 		return abort(fmt.Errorf("%w: shard %d at %s", ErrReplicaExists, shard, to))
 	}
 	c.repoch.Add(1)
+	c.persistRouting()
 	return nil
 }
 
@@ -496,6 +572,7 @@ func (c *Coordinator) DropReplica(shard int, url string) error {
 	c.route[shard] = append(append([]string(nil), set[:idx]...), set[idx+1:]...)
 	c.mu.Unlock()
 	c.repoch.Add(1)
+	c.persistRouting()
 	// Drain: streams pinned on the dropped copy finish unharmed; only
 	// new pins avoid it. Removal is best-effort — an unreachable node's
 	// copy stays where it is until the node returns or is rebuilt.

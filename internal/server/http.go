@@ -147,6 +147,29 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	obs.WriteGaugeFamily(w, "vcqr_epoch", "Current publication epoch.",
 		[]obs.CounterSeries{{Labels: [][2]string{{"role", role}}, Value: float64(st.Epoch)}})
+	if st.Store != nil {
+		for _, c := range []struct {
+			name, help string
+			v          uint64
+		}{
+			{"vcqr_wal_appends_total", "Durable WAL records appended (node store).", st.Store.WALAppends},
+			{"vcqr_snapshots_total", "Compacting store snapshots written.", st.Store.Snapshots},
+			{"vcqr_cold_starts_total", "Recoveries from the durable store.", st.Store.ColdStarts},
+		} {
+			obs.WriteCounterFamily(w, c.name, c.help,
+				[]obs.CounterSeries{{Labels: [][2]string{{"role", role}}, Value: float64(c.v)}})
+		}
+		// Age of the newest snapshot; the replay depth a crash right now
+		// would pay grows with it. Zero before the first snapshot of
+		// this process (the WAL alone is still fully durable).
+		var age float64
+		if st.Store.LastSnapshotUnix > 0 {
+			age = time.Since(time.Unix(st.Store.LastSnapshotUnix, 0)).Seconds()
+		}
+		obs.WriteGaugeFamily(w, "vcqr_snapshot_age_seconds",
+			"Seconds since the last compacting store snapshot.",
+			[]obs.CounterSeries{{Labels: [][2]string{{"role", role}}, Value: age}})
+	}
 	obs.WriteHistogramFamily(w, "vcqr_stage_seconds",
 		"Per-stage serving latency (seconds).",
 		obs.HistFamily(s.obs.Snapshot(), "role", role))

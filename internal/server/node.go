@@ -19,6 +19,7 @@ import (
 	"vcqr/internal/obs"
 	"vcqr/internal/partition"
 	"vcqr/internal/relation"
+	"vcqr/internal/store"
 	"vcqr/internal/wire"
 )
 
@@ -170,10 +171,20 @@ func (s *Server) InstallShard(man wire.ShardManifest, sr *core.SignedRelation) e
 		}
 		nt.spec = man.Spec
 	}
-	s.store.AddNamed(shardName(name, man.Shard), sr)
+	// Append-before-acknowledge: the install lands in the durable WAL
+	// (synced) before it is published or the coordinator hears success.
+	// A failed append refuses the install — the node never acknowledges
+	// state a SIGKILL would lose.
 	dg := partition.SliceDigest(s.h, sr)
+	if s.nstore != nil {
+		if err := s.nstore.LogInstall(name, man.Spec, man.Shard, sr, dg); err != nil {
+			return fmt.Errorf("server: install not durable: %w", err)
+		}
+	}
+	s.store.AddNamed(shardName(name, man.Shard), sr)
 	hs := &hostedShard{installDigest: dg, digest: dg}
 	nt.hosted[man.Shard] = hs
+	s.installs.Add(1)
 	return nil
 }
 
@@ -225,6 +236,11 @@ func (s *Server) RemoveShard(ref wire.ShardRef) error {
 	defer nt.mu.Unlock()
 	if nt.hosted[ref.Shard] == nil {
 		return fmt.Errorf("%w %d of %q", ErrNodeNotHosting, ref.Shard, ref.Relation)
+	}
+	if s.nstore != nil {
+		if err := s.nstore.LogRemove(ref.Relation, ref.Shard); err != nil {
+			return fmt.Errorf("server: remove not durable: %w", err)
+		}
 	}
 	delete(nt.hosted, ref.Shard)
 	s.store.Remove(shardName(ref.Relation, ref.Shard))
@@ -785,6 +801,29 @@ func (s *Server) FinishNodeDelta(req wire.TxRequest) (uint64, error) {
 		shards = append(shards, i)
 	}
 	sort.Ints(shards)
+	// Append-before-acknowledge: the committed delta lands in the
+	// durable WAL before any slice publishes. A failed append refuses
+	// the commit with the staged transaction already discarded — the
+	// coordinator sees the error and re-drives the delta; nothing was
+	// published, so the node's served state never disagrees with what a
+	// restart would recover.
+	digests := make(map[int]hashx.Digest, len(shards))
+	for _, i := range shards {
+		digests[i] = partition.SliceDigest(s.h, tx.slices[i])
+	}
+	if s.nstore != nil {
+		cs := make([]store.CommitShard, 0, len(shards))
+		for _, i := range shards {
+			var old *core.SignedRelation
+			if sl, _, ok := s.store.View(shardName(req.Relation, i)); ok {
+				old = sl
+			}
+			cs = append(cs, store.CommitShard{Shard: i, Old: old, New: tx.slices[i], PostDigest: digests[i]})
+		}
+		if err := s.nstore.LogCommit(req.Relation, cs); err != nil {
+			return 0, fmt.Errorf("server: delta commit not durable: %w", err)
+		}
+	}
 	var epoch uint64
 	for _, i := range shards {
 		e := s.store.AddNamed(shardName(req.Relation, i), tx.slices[i])
@@ -793,7 +832,7 @@ func (s *Server) FinishNodeDelta(req wire.TxRequest) (uint64, error) {
 		}
 		if hs := nt.hosted[i]; hs != nil {
 			hs.deltas.Add(1)
-			hs.digest = partition.SliceDigest(s.h, tx.slices[i])
+			hs.digest = digests[i]
 		}
 	}
 	s.deltasApplied.Add(1)

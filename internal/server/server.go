@@ -42,6 +42,7 @@ import (
 	"vcqr/internal/hashx"
 	"vcqr/internal/obs"
 	"vcqr/internal/sig"
+	"vcqr/internal/store"
 )
 
 // Config parameterizes a Server.
@@ -62,6 +63,13 @@ type Config struct {
 	// SlowThreshold sets the slow-query log's retention threshold: 0
 	// keeps the obs default (100ms), negative disables the log.
 	SlowThreshold time.Duration
+	// Store is the node-mode durable store (internal/store). When set,
+	// every install, remove and delta commit is appended to its WAL —
+	// and synced — before the node acknowledges it, and RecoverHosted
+	// republishes what the store replayed at cold start. Nil keeps the
+	// node memory-only (the pre-durability behaviour; tests and the
+	// in-process modes).
+	Store *store.NodeStore
 }
 
 // DefaultCacheSize is the VO-cache bound when Config.CacheSize is 0.
@@ -89,6 +97,12 @@ type Server struct {
 	nodeRels map[string]*nodeTable
 	// stagedTokens mints tokens for two-phase distributed deltas.
 	stagedTokens atomic.Uint64
+	// nstore is the durable node store (nil = memory-only node);
+	// installs counts slice transfers accepted over the wire — a
+	// restarted node that recovered from its WAL serves with this still
+	// at zero, the no-re-transfer signal store_smoke.sh asserts.
+	nstore   *store.NodeStore
+	installs atomic.Uint64
 
 	queries, batches, deltasApplied, errors atomic.Uint64
 	streams, streamChunks, streamBytes      atomic.Uint64
@@ -142,6 +156,7 @@ func New(cfg Config) *Server {
 		cache:    newVOCache(size),
 		parts:    map[string]*partTable{},
 		nodeRels: map[string]*nodeTable{},
+		nstore:   cfg.Store,
 		obs:      reg,
 		hCache:   reg.Hist(obs.StageCacheLookup),
 		hVO:      reg.Hist(obs.StageVOAssemble),
@@ -417,6 +432,13 @@ type Stats struct {
 	// sub-streams. ShardStreams totals the fan-out sub-streams served.
 	Hosted       map[string][]NodeShardStat `json:",omitempty"`
 	ShardStreams uint64                     `json:",omitempty"`
+	// Installs counts shard slices accepted over the transfer wire.
+	// Always rendered (no omitempty): a node that rejoined from its WAL
+	// proves the zero-re-transfer claim with an explicit "Installs":0.
+	Installs uint64
+	// Store is the durable-store view (WAL appends, snapshots, cold
+	// starts, replay depth); nil when the node runs memory-only.
+	Store *store.NodeStats `json:",omitempty"`
 	// Lease is the node-mode lease view: which coordinator last
 	// heartbeated this node, at which routing epoch, and whether the
 	// lease is still live — what scripts/replica_smoke.sh and operators
@@ -458,6 +480,8 @@ func (s *Server) Stats() Stats {
 		Partitions:    s.partitionStats(),
 		Hosted:        s.nodeStats(),
 		ShardStreams:  s.shardStreams.Load(),
+		Installs:      s.installs.Load(),
+		Store:         s.storeStats(),
 		Lease:         s.leaseStat(),
 		Cache:         s.cache.Stats(),
 	}

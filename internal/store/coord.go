@@ -1,0 +1,338 @@
+package store
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Coordinator log record: exactly one of the three kinds. The routing
+// table is tiny, so instead of a separate snapshot file the log
+// compacts by atomically rewriting itself (latest routing + still-open
+// staged transactions) — the same temp+fsync+rename idiom the node
+// snapshot uses, so there is no partial-compaction window and no need
+// for sequence numbers.
+type coordRecord struct {
+	Routing     *routingRecord
+	StagedBegin *stagedBeginRecord
+	StagedEnd   *stagedEndRecord
+}
+
+type routingRecord struct {
+	Epoch uint64
+	Route [][]string
+}
+
+// stagedBeginRecord is written before phase 4 (commit fan-out) of a
+// distributed delta: the relation and every node's staged token. If
+// the coordinator dies inside the commit fan-out, recovery finds the
+// open transaction here and knows the ambiguity is real — some nodes
+// may have committed — instead of guessing from digests alone.
+type stagedBeginRecord struct {
+	Relation string
+	Tokens   map[string]uint64
+}
+
+type stagedEndRecord struct {
+	Relation  string
+	Committed bool
+}
+
+// DefaultCompactEvery is the appends-per-compaction cadence when
+// CoordOptions.CompactEvery is zero.
+const DefaultCompactEvery = 128
+
+// CoordOptions parameterizes OpenCoord.
+type CoordOptions struct {
+	// CompactEvery is how many appends trigger an atomic log rewrite;
+	// 0 = DefaultCompactEvery, negative disables automatic compaction.
+	CompactEvery int
+	// Crash is the injection seam; nil (production) never fires.
+	Crash *Crasher
+}
+
+// CoordReport describes what OpenCoord recovered.
+type CoordReport struct {
+	// TornTail is the ErrWALTorn-wrapped reason the log tail was
+	// truncated, when it was.
+	TornTail error
+	// Replayed counts log records applied.
+	Replayed int
+	// RoutingEpoch is the recovered routing epoch (0 if none logged).
+	RoutingEpoch uint64
+	// OpenStaged lists relations whose two-phase delta was begun but
+	// never resolved before the crash — the ambiguous commit windows.
+	OpenStaged []string
+}
+
+// CoordLog is the coordinator's durable state: the latest routing
+// table (with its epoch) and the set of in-flight two-phase delta
+// commits. All methods are goroutine-safe.
+type CoordLog struct {
+	path  string
+	crash *Crasher
+	every int
+
+	mu      sync.Mutex
+	f       *os.File
+	pending int // appends since last compaction
+	repoch  uint64
+	route   [][]string
+	haveRt  bool
+	staged  map[string]map[string]uint64
+
+	appends, compactions, compactFailures atomic.Uint64
+}
+
+// OpenCoord opens (creating if needed) a coordinator log in dir and
+// replays it. A torn tail is truncated (reported, not fatal); only
+// environmental I/O failures return an error. If the replayed log had
+// grown, it is compacted before returning.
+func OpenCoord(dir string, opts CoordOptions) (*CoordLog, *CoordReport, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, err
+	}
+	every := opts.CompactEvery
+	if every == 0 {
+		every = DefaultCompactEvery
+	}
+	cl := &CoordLog{
+		path:   filepath.Join(dir, "coord.wal"),
+		crash:  opts.Crash,
+		every:  every,
+		staged: map[string]map[string]uint64{},
+	}
+	rep := &CoordReport{}
+	f, payloads, torn, err := openWAL(cl.path)
+	if err != nil {
+		return nil, nil, err
+	}
+	cl.f = f
+	rep.TornTail = torn
+	for _, payload := range payloads {
+		var rec coordRecord
+		if derr := gob.NewDecoder(bytes.NewReader(payload)).Decode(&rec); derr != nil {
+			rep.TornTail = fmt.Errorf("%w: undecodable record: %v", ErrWALTorn, derr)
+			break
+		}
+		cl.applyRecord(&rec)
+		rep.Replayed++
+	}
+	rep.RoutingEpoch = cl.repoch
+	rep.OpenStaged = cl.openStagedLocked()
+	// Compact what we replayed so restart cost stays bounded; failure
+	// here is an I/O problem worth surfacing at open.
+	if rep.Replayed > 1 {
+		if err := cl.compactLocked(); err != nil {
+			cl.f.Close()
+			return nil, nil, err
+		}
+	}
+	return cl, rep, nil
+}
+
+func (cl *CoordLog) applyRecord(rec *coordRecord) {
+	switch {
+	case rec.Routing != nil:
+		cl.repoch = rec.Routing.Epoch
+		cl.route = cloneRoute(rec.Routing.Route)
+		cl.haveRt = true
+	case rec.StagedBegin != nil:
+		toks := make(map[string]uint64, len(rec.StagedBegin.Tokens))
+		for k, v := range rec.StagedBegin.Tokens {
+			toks[k] = v
+		}
+		cl.staged[rec.StagedBegin.Relation] = toks
+	case rec.StagedEnd != nil:
+		delete(cl.staged, rec.StagedEnd.Relation)
+	}
+}
+
+func (cl *CoordLog) append(rec *coordRecord) error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(rec); err != nil {
+		return err
+	}
+	if err := appendRecord(cl.f, cl.crash, buf.Bytes()); err != nil {
+		return err
+	}
+	cl.appends.Add(1)
+	cl.pending++
+	cl.applyRecord(rec)
+	if cl.every > 0 && cl.pending >= cl.every {
+		// Best-effort: the log already holds everything.
+		if err := cl.compactLocked(); err != nil {
+			cl.compactFailures.Add(1)
+		}
+	}
+	return nil
+}
+
+// LogRouting durably records a routing table at a given epoch.
+func (cl *CoordLog) LogRouting(epoch uint64, route [][]string) error {
+	return cl.append(&coordRecord{Routing: &routingRecord{Epoch: epoch, Route: cloneRoute(route)}})
+}
+
+// LogStagedBegin durably records that a two-phase delta for rel is
+// about to enter its commit fan-out, with every node's staged token.
+// Call before the first NodeTx commit is sent.
+func (cl *CoordLog) LogStagedBegin(rel string, tokens map[string]uint64) error {
+	toks := make(map[string]uint64, len(tokens))
+	for k, v := range tokens {
+		toks[k] = v
+	}
+	return cl.append(&coordRecord{StagedBegin: &stagedBeginRecord{Relation: rel, Tokens: toks}})
+}
+
+// LogStagedEnd durably records that the delta for rel resolved
+// (committed or aborted everywhere).
+func (cl *CoordLog) LogStagedEnd(rel string, committed bool) error {
+	return cl.append(&coordRecord{StagedEnd: &stagedEndRecord{Relation: rel, Committed: committed}})
+}
+
+// Routing returns the recovered routing table and epoch; ok is false
+// if no routing was ever logged.
+func (cl *CoordLog) Routing() (epoch uint64, route [][]string, ok bool) {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if !cl.haveRt {
+		return 0, nil, false
+	}
+	return cl.repoch, cloneRoute(cl.route), true
+}
+
+// OpenStaged returns the two-phase deltas that were begun but never
+// resolved, keyed by relation: the crash windows Recover must treat as
+// possibly-committed.
+func (cl *CoordLog) OpenStaged() map[string]map[string]uint64 {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	out := make(map[string]map[string]uint64, len(cl.staged))
+	for rel, toks := range cl.staged {
+		cp := make(map[string]uint64, len(toks))
+		for k, v := range toks {
+			cp[k] = v
+		}
+		out[rel] = cp
+	}
+	return out
+}
+
+func (cl *CoordLog) openStagedLocked() []string {
+	out := make([]string, 0, len(cl.staged))
+	for rel := range cl.staged {
+		out = append(out, rel)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Compact forces an atomic log rewrite now.
+func (cl *CoordLog) Compact() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	return cl.compactLocked()
+}
+
+// compactLocked rewrites the log as [latest routing][open staged
+// begins] via temp+fsync+rename, then reopens the handle for appends.
+// Threads the rename-side crash points: a before-rename death leaves
+// the old log intact, an after-rename death leaves the new one — both
+// complete, consistent images.
+func (cl *CoordLog) compactLocked() error {
+	var buf bytes.Buffer
+	writeRec := func(rec *coordRecord) error {
+		var pb bytes.Buffer
+		if err := gob.NewEncoder(&pb).Encode(rec); err != nil {
+			return err
+		}
+		return appendWALFrame(&buf, pb.Bytes())
+	}
+	if cl.haveRt {
+		if err := writeRec(&coordRecord{Routing: &routingRecord{Epoch: cl.repoch, Route: cl.route}}); err != nil {
+			return err
+		}
+	}
+	for _, rel := range cl.openStagedLocked() {
+		if err := writeRec(&coordRecord{StagedBegin: &stagedBeginRecord{Relation: rel, Tokens: cl.staged[rel]}}); err != nil {
+			return err
+		}
+	}
+	tmp := cl.path + ".tmp"
+	if err := os.WriteFile(tmp, buf.Bytes(), 0o644); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if cl.crash.hit(CrashBeforeRename) {
+		return ErrCrash
+	}
+	if err := os.Rename(tmp, cl.path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(cl.path))
+	if cl.crash.hit(CrashAfterRename) {
+		return ErrCrash
+	}
+	f, err := os.OpenFile(cl.path, os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		// The rename already happened, so the old handle points at an
+		// unlinked inode: appends there would silently vanish at the
+		// next open. Drop the handle so later appends fail loudly.
+		cl.f.Close()
+		cl.f = nil
+		return err
+	}
+	cl.f.Close()
+	cl.f = f
+	cl.pending = 0
+	cl.compactions.Add(1)
+	return nil
+}
+
+// CoordStats is the log's observability view.
+type CoordStats struct {
+	Appends, Compactions, CompactFailures uint64
+	OpenStaged                            int
+}
+
+// Stats snapshots the counters.
+func (cl *CoordLog) Stats() CoordStats {
+	cl.mu.Lock()
+	open := len(cl.staged)
+	cl.mu.Unlock()
+	return CoordStats{
+		Appends:         cl.appends.Load(),
+		Compactions:     cl.compactions.Load(),
+		CompactFailures: cl.compactFailures.Load(),
+		OpenStaged:      open,
+	}
+}
+
+// Close releases the log file handle.
+func (cl *CoordLog) Close() error {
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if cl.f == nil {
+		return nil
+	}
+	err := cl.f.Close()
+	cl.f = nil
+	return err
+}
+
+func cloneRoute(route [][]string) [][]string {
+	out := make([][]string, len(route))
+	for i, set := range route {
+		out[i] = append([]string(nil), set...)
+	}
+	return out
+}

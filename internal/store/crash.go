@@ -1,0 +1,127 @@
+// Package store is the durable storage tier of the cluster: a per-node
+// append-only WAL plus periodic snapshots (NodeStore), and the
+// coordinator's routing/staged-token log (CoordLog).
+//
+// The store is untrusted by construction — the same argument that lets
+// the system add replicas, caches and peers without trusting them. A
+// node restarting from disk replays its WAL on top of the latest
+// snapshot and then self-checks every recovered slice against the
+// owner's public key (AggIndex.VerifyRange over the owned region, plus
+// the full install-time validation) before serving a byte of it. A
+// corrupted, truncated or rolled-back disk therefore yields an honest
+// refusal — the slice is dropped and the coordinator re-installs it —
+// never a wrong answer. Nothing downstream changes: the unmodified
+// client verifier remains the only trust boundary.
+//
+// Durability discipline: every mutation appends to the WAL (and syncs)
+// BEFORE the node acknowledges it — append-before-acknowledge — so an
+// acknowledged install or delta commit survives a SIGKILL. Snapshots
+// are pure compaction: written to a temp file, fsynced, renamed into
+// place, and only then is the WAL truncated; every record carries a
+// sequence number and the snapshot records the last one it covers, so
+// a crash between rename and truncation replays idempotently.
+package store
+
+import (
+	"errors"
+	"sync"
+)
+
+// CrashPoint names one injection site in the write path. The five
+// points cover every distinct durability state a crash can leave:
+// before anything hit disk, mid-record (a torn tail), after the record
+// is durable but before the caller was acknowledged, and either side
+// of a snapshot's atomic rename.
+type CrashPoint int
+
+// Crash points, in write-path order.
+const (
+	// CrashNone is the zero value: nothing armed.
+	CrashNone CrashPoint = iota
+	// CrashBeforeAppend dies before any byte of the record is written.
+	CrashBeforeAppend
+	// CrashMidRecord dies with the record's header and half its payload
+	// on disk — the torn tail recovery must truncate away.
+	CrashMidRecord
+	// CrashAfterAppend dies after the record is durable (synced) but
+	// before the store's in-memory state or the caller saw it — the
+	// acknowledged-or-not ambiguity window.
+	CrashAfterAppend
+	// CrashBeforeRename dies with the snapshot fully written to its
+	// temp file but not yet renamed into place.
+	CrashBeforeRename
+	// CrashAfterRename dies with the snapshot renamed into place but
+	// the WAL not yet truncated — the double-apply window sequence
+	// numbers exist for.
+	CrashAfterRename
+)
+
+// CrashPoints lists every injectable point, for matrix tests.
+var CrashPoints = []CrashPoint{
+	CrashBeforeAppend, CrashMidRecord, CrashAfterAppend,
+	CrashBeforeRename, CrashAfterRename,
+}
+
+func (p CrashPoint) String() string {
+	switch p {
+	case CrashNone:
+		return "none"
+	case CrashBeforeAppend:
+		return "before-append"
+	case CrashMidRecord:
+		return "mid-record"
+	case CrashAfterAppend:
+		return "after-append"
+	case CrashBeforeRename:
+		return "before-rename"
+	case CrashAfterRename:
+		return "after-rename"
+	}
+	return "unknown"
+}
+
+// ErrCrash is the injected-death error: a write path that hits an armed
+// crash point stops exactly there, as a SIGKILL at that instant would.
+var ErrCrash = errors.New("store: injected crash")
+
+// Crasher is the deterministic crash-point seam, in the spirit of
+// cluster.Injector: production code never constructs one — a nil
+// *Crasher never fires — it is exported because the recovery matrix
+// tests in other packages drive the same seam the real write path runs
+// through. Arming is one-shot: the first write that reaches the armed
+// point consumes it, so a test kills exactly one operation.
+type Crasher struct {
+	mu    sync.Mutex
+	armed CrashPoint
+	fired int
+}
+
+// Arm sets the next crash point. CrashNone disarms.
+func (c *Crasher) Arm(p CrashPoint) {
+	c.mu.Lock()
+	c.armed = p
+	c.mu.Unlock()
+}
+
+// Fired reports how many injected crashes have fired.
+func (c *Crasher) Fired() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.fired
+}
+
+// hit consumes the armed point if it matches. Nil-safe: the production
+// path passes a nil Crasher and never fires.
+func (c *Crasher) hit(p CrashPoint) bool {
+	if c == nil {
+		return false
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.armed != p {
+		return false
+	}
+	c.armed = CrashNone
+	c.fired++
+	return true
+}

@@ -1,0 +1,121 @@
+package store
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+)
+
+// Snapshot files compact the WAL: [magic][8-byte BE payload length]
+// [4-byte BE CRC-32C][payload]. The file is written to a sibling
+// *.tmp, fsynced, and renamed into place — the atomic-replace idiom —
+// so a reader only ever sees no snapshot, the old snapshot, or the new
+// one, never a half-written file under the real name. A leftover *.tmp
+// (crash before rename) is ignored and removed at open.
+
+// ErrSnapshotTorn reports a snapshot file that is not a whole,
+// checksummed image: wrong magic, short body, or CRC mismatch. The
+// store starts empty instead of guessing — an honest refusal the
+// coordinator repairs by re-installing, never a wrong answer.
+var ErrSnapshotTorn = errors.New("store: torn snapshot")
+
+var snapMagic = []byte("vcqr-store-snap-1\n")
+
+const maxSnapshot = 1 << 32 // corruption bound on the length prefix
+
+// EncodeSnapshotFile frames a snapshot payload for disk.
+func EncodeSnapshotFile(payload []byte) []byte {
+	out := make([]byte, 0, len(snapMagic)+12+len(payload))
+	out = append(out, snapMagic...)
+	var hdr [12]byte
+	binary.BigEndian.PutUint64(hdr[0:8], uint64(len(payload)))
+	binary.BigEndian.PutUint32(hdr[8:12], crc32.Checksum(payload, walCRC))
+	out = append(out, hdr[:]...)
+	return append(out, payload...)
+}
+
+// ReadSnapshot unframes a snapshot file image, returning the payload.
+// Every failure is ErrSnapshotTorn-wrapped. Exported so the fuzz
+// target drives exactly the production decode path.
+func ReadSnapshot(data []byte) ([]byte, error) {
+	if !bytes.HasPrefix(data, snapMagic) {
+		return nil, fmt.Errorf("%w: bad magic", ErrSnapshotTorn)
+	}
+	rest := data[len(snapMagic):]
+	if len(rest) < 12 {
+		return nil, fmt.Errorf("%w: short header (%d of 12 bytes)", ErrSnapshotTorn, len(rest))
+	}
+	size := binary.BigEndian.Uint64(rest[0:8])
+	if size > maxSnapshot || size != uint64(len(rest)-12) {
+		return nil, fmt.Errorf("%w: length prefix %d for %d payload bytes", ErrSnapshotTorn, size, len(rest)-12)
+	}
+	payload := rest[12:]
+	if got, want := crc32.Checksum(payload, walCRC), binary.BigEndian.Uint32(rest[8:12]); got != want {
+		return nil, fmt.Errorf("%w: payload CRC mismatch (got %08x want %08x)", ErrSnapshotTorn, got, want)
+	}
+	return payload, nil
+}
+
+// writeSnapshotFile writes a framed snapshot atomically: temp file,
+// fsync, rename, directory fsync — threading the two snapshot-side
+// crash points. A before-rename death leaves only the *.tmp (ignored
+// at open); an after-rename death leaves the new snapshot in place
+// with the WAL untouched, which sequence numbers absorb.
+func writeSnapshotFile(path string, crash *Crasher, payload []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, EncodeSnapshotFile(payload), 0o644); err != nil {
+		return err
+	}
+	if err := syncFile(tmp); err != nil {
+		return err
+	}
+	if crash.hit(CrashBeforeRename) {
+		return ErrCrash
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	if crash.hit(CrashAfterRename) {
+		return ErrCrash
+	}
+	return nil
+}
+
+// loadSnapshotFile reads and unframes a snapshot, removing any *.tmp
+// leftover from a crashed writer. A missing file is (nil, nil): a
+// fresh store. A torn file returns the payload nil and the tear error;
+// the caller starts empty and surfaces the refusal.
+func loadSnapshotFile(path string) ([]byte, error) {
+	os.Remove(path + ".tmp") // crashed writer's leftover, never authoritative
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return ReadSnapshot(data)
+}
+
+func syncFile(path string) error {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return f.Sync()
+}
+
+// syncDir fsyncs a directory so a rename is durable; best-effort on
+// filesystems that refuse directory syncs.
+func syncDir(dir string) {
+	if d, err := os.Open(dir); err == nil {
+		d.Sync()
+		d.Close()
+	}
+}
